@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure (or numeric result) of the paper
+as an :class:`~repro.reporting.ExperimentResult`, renders it to stdout
+and archives both the text and the JSON payload under
+``benchmarks/results/``.  EXPERIMENTS.md is written from those archives.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.reporting import ExperimentResult
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def save_experiment(result: ExperimentResult, time_points=None) -> str:
+    """Render, print and archive an experiment result; returns the text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.render(time_points=time_points)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{result.experiment_id}.json").write_text(result.to_json())
+    print("\n" + text)
+    return text
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Figure 3 — steady-state regime: imprecise Birkhoff centre vs uncertain curve.
+
+Regenerates the steady-state comparison of the SIR model with
+``theta_max = 10 theta_min``: the convex Birkhoff-centre region of the
+imprecise model (Section V-C construction) against the curve of fixed
+points of the uncertain models.
+
+Paper-expected shape: the uncertain steady states are strictly included
+in the imprecise region, and the region contains points with smaller
+``X_S`` and larger ``X_I`` than any uncertain stationary point.
+"""
+
+import numpy as np
+
+from _common import run_once, save_experiment
+from repro.models import make_sir_model
+from repro.reporting import ExperimentResult
+from repro.steadystate import birkhoff_centre_2d, uncertain_fixed_points
+
+
+def compute_fig3() -> ExperimentResult:
+    model = make_sir_model()
+    result = ExperimentResult(
+        "fig3",
+        "SIR steady state: Birkhoff centre (imprecise) vs fixed points "
+        "(uncertain)",
+        parameters={"theta": "[1, 10]"},
+    )
+
+    region = birkhoff_centre_2d(model, x0_guess=[0.7, 0.05])
+    curve = uncertain_fixed_points(model, resolution=41)
+
+    vertices = region.polygon.vertices
+    # Close the polygon for the archived series.
+    closed = np.vstack([vertices, vertices[:1]])
+    result.add_series("region_boundary_S", np.arange(closed.shape[0], dtype=float),
+                      closed[:, 0])
+    result.add_series("region_boundary_I", np.arange(closed.shape[0], dtype=float),
+                      closed[:, 1])
+    thetas = model.theta_set.grid(41).ravel()
+    result.add_series("uncertain_fp_S", thetas, curve[:, 0])
+    result.add_series("uncertain_fp_I", thetas, curve[:, 1])
+
+    inside = sum(region.contains(fp, tol=1e-3) for fp in curve)
+    result.add_finding("region_area", region.polygon.area)
+    result.add_finding("region_converged", float(region.converged))
+    result.add_finding("uncertain_points_inside", float(inside))
+    result.add_finding("uncertain_points_total", float(curve.shape[0]))
+    result.add_finding("region_S_min", vertices[:, 0].min())
+    result.add_finding("region_S_max", vertices[:, 0].max())
+    result.add_finding("region_I_max", vertices[:, 1].max())
+    result.add_finding("uncertain_S_min", curve[:, 0].min())
+    result.add_finding("uncertain_I_max", curve[:, 1].max())
+    result.add_note(
+        "paper: region contains points with smaller X_S and larger X_I than "
+        "any uncertain stationary point; measured "
+        f"S_min {vertices[:, 0].min():.3f} < {curve[:, 0].min():.3f} and "
+        f"I_max {vertices[:, 1].max():.3f} > {curve[:, 1].max():.3f}"
+    )
+    return result
+
+
+def bench_fig3_sir_steadystate(benchmark):
+    result = run_once(benchmark, compute_fig3)
+    save_experiment(result)
+    assert result.findings["region_converged"] == 1.0
+    assert (
+        result.findings["uncertain_points_inside"]
+        == result.findings["uncertain_points_total"]
+    )
+    assert result.findings["region_S_min"] < result.findings["uncertain_S_min"]
+    assert result.findings["region_I_max"] > result.findings["uncertain_I_max"]

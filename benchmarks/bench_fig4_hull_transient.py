@@ -1,0 +1,84 @@
+"""Figure 4 — differential hull vs imprecise (Pontryagin) transient bounds.
+
+Regenerates the transient comparison for ``theta_max in {2, 5, 6}``
+(``theta_min = 1``): proportion of susceptible and infected over
+``t in [0, 10]``, bounded by (a) the differential-hull pair of ODEs and
+(b) the exact Pontryagin bounds.
+
+Paper-expected shape: the hull is accurate for ``theta_max = 2``,
+noticeably loose for ``theta_max = 5`` (infected upper bound far above
+the exact bound) and *trivial* for ``theta_max = 6`` beyond ``t ~ 4``
+(bounds cover the whole [0, 1] range), while the Pontryagin bounds stay
+informative throughout.
+"""
+
+import numpy as np
+
+from _common import run_once, save_experiment
+from repro.bounds import differential_hull_bounds, pontryagin_transient_bounds
+from repro.models import SIR_PAPER_PARAMS, make_sir_model
+from repro.reporting import ExperimentResult
+
+THETA_MAX_VALUES = (2.0, 5.0, 6.0)
+T_GRID = np.linspace(0.0, 10.0, 21)
+
+
+def compute_fig4() -> ExperimentResult:
+    x0 = np.asarray(SIR_PAPER_PARAMS["x0"])
+    result = ExperimentResult(
+        "fig4",
+        "SIR transient: differential hull vs exact imprecise bounds, "
+        "theta_max in {2, 5, 6}",
+        parameters={"theta_min": 1.0, "T": 10.0, "x0": tuple(x0)},
+    )
+    for theta_max in THETA_MAX_VALUES:
+        model = make_sir_model(theta_max=theta_max)
+        tag = f"tm{theta_max:g}"
+
+        hull = differential_hull_bounds(model, x0, T_GRID)
+        result.add_series(f"{tag}_hull_S_lower", T_GRID, hull.lower[:, 0])
+        result.add_series(f"{tag}_hull_S_upper", T_GRID, hull.upper[:, 0])
+        result.add_series(f"{tag}_hull_I_lower", T_GRID, hull.lower[:, 1])
+        result.add_series(f"{tag}_hull_I_upper", T_GRID, hull.upper[:, 1])
+
+        exact = pontryagin_transient_bounds(
+            model, x0, T_GRID[1:], observables=["S", "I"], steps_per_unit=60,
+        )
+        t_exact = T_GRID
+        for name in ("S", "I"):
+            result.add_series(
+                f"{tag}_exact_{name}_lower", t_exact,
+                np.concatenate([[x0[0 if name == 'S' else 1]],
+                                exact.lower[name]]),
+            )
+            result.add_series(
+                f"{tag}_exact_{name}_upper", t_exact,
+                np.concatenate([[x0[0 if name == 'S' else 1]],
+                                exact.upper[name]]),
+            )
+
+        hull_width = float(hull.width(1)[-1])
+        exact_width = float(exact.upper["I"][-1] - exact.lower["I"][-1])
+        result.add_finding(f"{tag}_hull_I_width_at_10", hull_width)
+        result.add_finding(f"{tag}_exact_I_width_at_10", exact_width)
+        result.add_finding(f"{tag}_hull_trivial", float(hull.is_trivial(1)))
+    result.add_note(
+        "paper: hull accurate at theta_max=2, loose at 5, trivial at 6 "
+        "while the Pontryagin bounds remain informative"
+    )
+    return result
+
+
+def bench_fig4_hull_transient(benchmark):
+    result = run_once(benchmark, compute_fig4)
+    save_experiment(result)
+    assert result.findings["tm2_hull_trivial"] == 0.0
+    assert result.findings["tm6_hull_trivial"] == 1.0
+    # Looseness ratio grows sharply between theta_max = 2 and 5.
+    ratio2 = (result.findings["tm2_hull_I_width_at_10"]
+              / max(result.findings["tm2_exact_I_width_at_10"], 1e-9))
+    ratio5 = (result.findings["tm5_hull_I_width_at_10"]
+              / max(result.findings["tm5_exact_I_width_at_10"], 1e-9))
+    assert ratio5 > 2.0 * ratio2
+    # The exact bounds stay inside [0, 1] even at theta_max = 6.
+    assert 0.0 <= result.findings["tm6_exact_I_width_at_10"] <= 1.0

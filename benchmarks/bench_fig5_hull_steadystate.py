@@ -1,0 +1,80 @@
+"""Figure 5 — steady state: Birkhoff centre vs uncertain curve vs hull box.
+
+Regenerates the steady-state comparison for
+``theta_max in {2, 3, 4, 5}`` (``theta_min = 1``): the imprecise
+Birkhoff region, the uncertain fixed-point curve and the stationary
+rectangle of the differential hull.
+
+Paper-expected shape: the hull rectangle is an accurate enclosure for
+``theta_max = 2`` and ``3``, clearly loose at ``5``, and trivial
+(divergent) for ``theta_max >= 6`` (checked as an extra finding).
+"""
+
+import numpy as np
+
+from _common import run_once, save_experiment
+from repro.models import make_sir_model
+from repro.reporting import ExperimentResult
+from repro.steadystate import (
+    birkhoff_centre_2d,
+    hull_steady_rectangle,
+    uncertain_fixed_points,
+)
+
+THETA_MAX_VALUES = (2.0, 3.0, 4.0, 5.0)
+
+
+def compute_fig5() -> ExperimentResult:
+    result = ExperimentResult(
+        "fig5",
+        "SIR steady state: hull rectangle vs Birkhoff region vs uncertain "
+        "fixed points, theta_max in {2, 3, 4, 5}",
+        parameters={"theta_min": 1.0},
+    )
+    for theta_max in THETA_MAX_VALUES:
+        model = make_sir_model(theta_max=theta_max)
+        tag = f"tm{theta_max:g}"
+
+        region = birkhoff_centre_2d(model, x0_guess=[0.7, 0.05])
+        curve = uncertain_fixed_points(model, resolution=21)
+        rect = hull_steady_rectangle(model, [0.7, 0.3])
+
+        vertices = region.polygon.vertices
+        result.add_finding(f"{tag}_region_area", region.polygon.area)
+        rect_area = float(np.prod(np.maximum(rect.widths(), 0.0)))
+        result.add_finding(f"{tag}_hull_rect_area", rect_area)
+        result.add_finding(f"{tag}_hull_converged", float(rect.converged))
+        result.add_finding(
+            f"{tag}_area_ratio", rect_area / max(region.polygon.area, 1e-12)
+        )
+        result.add_finding(
+            f"{tag}_uncertain_inside_region",
+            float(sum(region.contains(fp, tol=1e-3) for fp in curve)),
+        )
+        result.add_finding(
+            f"{tag}_region_inside_rect",
+            float(all(rect.contains(v, tol=1e-2) for v in vertices)),
+        )
+    # The divergence case the paper mentions ("trivial for theta_max >= 6").
+    divergent = hull_steady_rectangle(make_sir_model(theta_max=6.0),
+                                      [0.7, 0.3], horizon=60.0)
+    result.add_finding("tm6_hull_converged", float(divergent.converged))
+    result.add_note(
+        "paper: hull rectangle accurate for theta_max=2,3; very loose at 5; "
+        "trivial for theta_max>=6"
+    )
+    return result
+
+
+def bench_fig5_hull_steadystate(benchmark):
+    result = run_once(benchmark, compute_fig5)
+    save_experiment(result)
+    # Soundness: hull rectangle always contains the Birkhoff region.
+    for tag in ("tm2", "tm3", "tm4", "tm5"):
+        assert result.findings[f"{tag}_region_inside_rect"] == 1.0
+        assert result.findings[f"{tag}_hull_converged"] == 1.0
+    # Looseness grows non-linearly in theta_max.
+    assert (result.findings["tm5_area_ratio"]
+            > 3.0 * result.findings["tm2_area_ratio"])
+    # Divergence at theta_max = 6.
+    assert result.findings["tm6_hull_converged"] == 0.0

@@ -1,0 +1,104 @@
+"""Figure 7 — GPS model: maximal queue length, uncertain vs imprecise.
+
+Regenerates the queueing-network comparison of Section VI: the maximal
+(and minimal) per-class queue fractions ``Q_1(t)``, ``Q_2(t)`` over
+``t in [0, 5]`` for the uncertain and imprecise scenarios, for both
+job-creation processes:
+
+- *Poisson* arrivals (matched mean inter-job times);
+- *MAP* arrivals (activation stage at rate ``a_i`` before sending).
+
+Paper-expected shape: under Poisson arrivals the uncertain and imprecise
+envelopes coincide (monotone congestion in ``lambda``); under MAP
+arrivals the imprecise maximum is significantly larger than any
+constant-parameter maximum (the activation delay lets a varying rate
+beat every constant one).
+"""
+
+import numpy as np
+
+from _common import run_once, save_experiment
+from repro.bounds import pontryagin_transient_bounds, uncertain_envelope
+from repro.models import (
+    GPS_PAPER_PARAMS,
+    gps_initial_state_map,
+    gps_initial_state_poisson,
+    make_gps_map_model,
+    make_gps_poisson_model,
+)
+from repro.reporting import ExperimentResult
+
+HORIZONS = np.linspace(0.5, 5.0, 10)
+
+
+def _bound_scenario(result, tag, model, x0):
+    env = uncertain_envelope(
+        model, x0, np.concatenate([[0.0], HORIZONS]), resolution=7,
+        observables=["Q1", "Q2"],
+    )
+    imprecise = pontryagin_transient_bounds(
+        model, x0, HORIZONS, observables=[
+            ("Q1", model.observables["Q1"]),
+            ("Q2", model.observables["Q2"]),
+        ],
+        steps_per_unit=60,
+    )
+    for name in ("Q1", "Q2"):
+        q0 = float(model.observables[name] @ x0)
+        result.add_series(f"{tag}_{name}_max_uncertain", env.times,
+                          env.upper[name])
+        result.add_series(f"{tag}_{name}_min_uncertain", env.times,
+                          env.lower[name])
+        result.add_series(
+            f"{tag}_{name}_max_imprecise",
+            np.concatenate([[0.0], HORIZONS]),
+            np.concatenate([[q0], imprecise.upper[name]]),
+        )
+        result.add_series(
+            f"{tag}_{name}_min_imprecise",
+            np.concatenate([[0.0], HORIZONS]),
+            np.concatenate([[q0], imprecise.lower[name]]),
+        )
+        result.add_finding(f"{tag}_{name}_max_uncertain_at_5",
+                           env.upper[name][-1])
+        result.add_finding(f"{tag}_{name}_max_imprecise_at_5",
+                           imprecise.upper[name][-1])
+        result.add_finding(
+            f"{tag}_{name}_gap_at_5",
+            imprecise.upper[name][-1] - env.upper[name][-1],
+        )
+
+
+def compute_fig7() -> ExperimentResult:
+    result = ExperimentResult(
+        "fig7",
+        "GPS: maximal queue length vs time, uncertain vs imprecise, "
+        "Poisson vs MAP arrivals",
+        parameters={
+            "mu": GPS_PAPER_PARAMS["mu"],
+            "phi": GPS_PAPER_PARAMS["phi"],
+            "lambda1": "[1, 7]", "lambda2": "[2, 3]",
+            "a": GPS_PAPER_PARAMS["activation"],
+            "Q0": GPS_PAPER_PARAMS["q0_class_fraction"],
+        },
+    )
+    _bound_scenario(result, "poisson", make_gps_poisson_model(),
+                    gps_initial_state_poisson())
+    _bound_scenario(result, "map", make_gps_map_model(),
+                    gps_initial_state_map())
+    result.add_note(
+        "paper: Poisson -> uncertain and imprecise bounds coincide; "
+        "MAP -> imprecise max queue significantly larger than uncertain"
+    )
+    return result
+
+
+def bench_fig7_gps_transient(benchmark):
+    result = run_once(benchmark, compute_fig7)
+    save_experiment(result)
+    # Poisson: coincidence (within numerical tolerance).
+    assert abs(result.findings["poisson_Q1_gap_at_5"]) < 5e-3
+    assert abs(result.findings["poisson_Q2_gap_at_5"]) < 5e-3
+    # MAP: strict gap, large for the fast class.
+    assert result.findings["map_Q1_gap_at_5"] > 0.05
+    assert result.findings["map_Q2_gap_at_5"] > 0.0

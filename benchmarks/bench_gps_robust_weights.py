@@ -1,0 +1,63 @@
+"""Section VI-C — robust tuning of the GPS weights.
+
+Regenerates the design study at the end of Section VI: choose the GPS
+weight ``phi_1`` (with ``phi_2 = 1``) minimising the worst-case total
+queue length ``max_theta (Q_1 + Q_2)(T)`` over the imprecise inclusion.
+
+Paper-expected shape: the worst-case total queue length is a convex
+function of ``phi_1`` and the optimum gives clear priority to class 1
+(the paper reports ``phi_1 = 9.0 phi_2`` for its configuration).
+"""
+
+import numpy as np
+
+from _common import run_once, save_experiment
+from repro.analysis import robust_minimize_scalar
+from repro.analysis.robust import worst_case_objective
+from repro.models import gps_initial_state_map, make_gps_map_model
+from repro.reporting import ExperimentResult
+
+HORIZON = 5.0
+
+
+def objective(phi1: float) -> float:
+    model = make_gps_map_model(phi=(phi1, 1.0))
+    x0 = gps_initial_state_map()
+    return worst_case_objective(
+        model, x0, HORIZON, model.observables["Qtotal"], n_steps=150,
+    )
+
+
+def compute_weights() -> ExperimentResult:
+    result = ExperimentResult(
+        "gps_weights",
+        "GPS: robust choice of the weight phi_1 (phi_2 = 1) minimising the "
+        "worst-case total queue length at T = 5",
+        parameters={"phi2": 1.0, "T": HORIZON, "search": "[0.5, 20]"},
+    )
+    design = robust_minimize_scalar(objective, (0.5, 20.0),
+                                    coarse_points=9, xatol=0.05)
+    result.add_series("objective_vs_phi1", design.design_grid,
+                      design.objective_grid)
+    result.add_finding("phi1_optimal", design.optimum)
+    result.add_finding("worst_case_at_optimum", design.value)
+    result.add_finding("convex_on_grid", float(design.is_convex_on_grid(
+        tol=1e-3)))
+    result.add_finding("worst_case_at_phi1_1", float(design.objective_grid[
+        int(np.argmin(np.abs(design.design_grid - 1.0)))]))
+    result.add_note(
+        "paper: objective convex in phi_1, optimum at phi_1 = 9.0 phi_2 "
+        "(their capacity configuration); we report the measured optimum "
+        "for the normalised-capacity configuration of this reproduction"
+    )
+    return result
+
+
+def bench_gps_robust_weights(benchmark):
+    result = run_once(benchmark, compute_weights)
+    save_experiment(result)
+    # Priority to class 1, as the paper finds.
+    assert result.findings["phi1_optimal"] > 1.0
+    # The optimum genuinely improves on equal weights.
+    assert (result.findings["worst_case_at_optimum"]
+            < result.findings["worst_case_at_phi1_1"] - 1e-4)

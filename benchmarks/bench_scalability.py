@@ -1,0 +1,71 @@
+"""Extension — scalability of the Pontryagin bounds in the state dimension.
+
+The paper closes with "we will … test the approach on larger models, to
+properly understand its scalability".  This bench does that on the
+power-of-two-choices load balancer, whose buffer truncation ``K`` sets
+the state dimension: compute the imprecise upper bound on the mean queue
+length at ``T = 3`` for ``K in {5, 10, 20, 40}`` and record wall time
+and sweep iterations.
+
+Expected: cost grows roughly linearly in ``K`` (the sweep is
+``O(K)`` per step through the analytic Jacobian and the affine
+Hamiltonian maximiser) and the bound converges as ``K`` grows (deep
+buffer levels are exponentially empty).
+"""
+
+import time
+
+import numpy as np
+
+from _common import run_once, save_experiment
+from repro.bounds import extremal_trajectory
+from repro.models import make_power_of_d_model
+from repro.reporting import ExperimentResult
+
+DEPTHS = (5, 10, 20, 40)
+HORIZON = 3.0
+
+
+def compute_scalability() -> ExperimentResult:
+    result = ExperimentResult(
+        "scalability",
+        "Pontryagin bound cost vs state dimension "
+        "(power-of-two-choices, max mean queue length at T = 3)",
+        parameters={"depths": DEPTHS, "T": HORIZON,
+                    "arrival_bounds": (0.7, 0.95)},
+    )
+    values, times = [], []
+    for depth in DEPTHS:
+        model = make_power_of_d_model(buffer_depth=depth)
+        x0 = np.zeros(depth)
+        x0[0] = 0.5  # half the servers busy, no deeper backlog
+        weights = model.observables["mean_queue_length"]
+        start = time.perf_counter()
+        res = extremal_trajectory(model, x0, HORIZON, weights, n_steps=150)
+        elapsed = time.perf_counter() - start
+        values.append(res.value)
+        times.append(elapsed)
+        result.add_finding(f"bound_K{depth}", res.value)
+        result.add_finding(f"seconds_K{depth}", elapsed)
+        result.add_finding(f"iterations_K{depth}", float(res.iterations))
+    result.add_series("bound_vs_K", np.asarray(DEPTHS, float),
+                      np.asarray(values))
+    result.add_series("seconds_vs_K", np.asarray(DEPTHS, float),
+                      np.asarray(times))
+    result.add_finding("bound_truncation_drift",
+                       abs(values[-1] - values[-2]))
+    result.add_note(
+        "bound converges in the truncation depth; cost grows polynomially "
+        "(per-sweep work is O(K) rate evaluations + O(K^2) Jacobian)"
+    )
+    return result
+
+
+def bench_scalability(benchmark):
+    result = run_once(benchmark, compute_scalability)
+    save_experiment(result)
+    # Truncation-converged bound.
+    assert result.findings["bound_truncation_drift"] < 1e-3
+    # Sane growth: 8x dimension should not cost more than ~100x time.
+    assert (result.findings["seconds_K40"]
+            < 100.0 * max(result.findings["seconds_K5"], 1e-3))

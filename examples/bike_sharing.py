@@ -1,0 +1,88 @@
+"""Bike-sharing station under imprecise demand: exact finite-N analysis.
+
+The running example of Sections II–III: one station with ``N`` racks,
+customers take bikes at rate ``theta_a(t)`` and return them at rate
+``theta_r(t)``, both rates only known to lie in intervals.  At this
+scale (one station) the chain is small enough for *exact* analysis, so
+this example works at finite ``N`` rather than in the mean-field limit:
+
+1. enumerate the birth–death chain and build the imprecise generator
+   family ``Q(theta)``;
+2. bound the probability that the station is *empty* at the end of a
+   rush hour via the imprecise Kolmogorov equations (Eq. 2 of the
+   paper), solved exactly with the same Pontryagin machinery used for
+   mean-field bounds — here on the master equation;
+3. compare with the uncertain (constant-rate) envelope and with SSA
+   estimates under an adversarial demand policy.
+
+Run:  python examples/bike_sharing.py
+"""
+
+import numpy as np
+
+from repro import make_bike_station_model, render_table, simulate
+from repro.ctmc import (
+    ImpreciseCTMC,
+    imprecise_reward_bounds,
+    uncertain_reward_envelope,
+)
+from repro.simulation import FeedbackPolicy
+
+N_RACKS = 15
+HORIZON = 6.0  # the rush-hour window
+INITIAL_FILL = 0.6
+
+
+def main():
+    model = make_bike_station_model(arrival_bounds=(0.6, 1.4),
+                                    return_bounds=(0.8, 1.2))
+    population = model.instantiate(N_RACKS, [INITIAL_FILL])
+    chain = ImpreciseCTMC(population)
+    print(f"station with {N_RACKS} racks, {chain.n_states} chain states, "
+          f"initial fill {INITIAL_FILL:.0%}")
+    print("demand theta_a in [0.6, 1.4], returns theta_r in [0.8, 1.2]\n")
+
+    empty = (chain.states[:, 0] == 0).astype(float)
+    full = (chain.states[:, 0] == N_RACKS).astype(float)
+
+    rows = []
+    for label, reward in (("P(empty)", empty), ("P(full)", full)):
+        res_max = imprecise_reward_bounds(chain, reward, HORIZON,
+                                          maximize=True, n_steps=200)
+        res_min = imprecise_reward_bounds(chain, reward, HORIZON,
+                                          maximize=False, n_steps=200)
+        _, lo, hi = uncertain_reward_envelope(
+            chain, reward, np.array([0.0, HORIZON]), resolution=7,
+        )
+        rows.append([label, res_min.value, res_max.value,
+                     float(lo[-1]), float(hi[-1])])
+    print(render_table(
+        ["metric", "imprecise min", "imprecise max",
+         "uncertain min", "uncertain max"],
+        rows, float_format="{:.4f}",
+    ))
+
+    # Validate the worst-case bound with an adversarial simulation: a
+    # demand policy that always drains the station (max arrivals, min
+    # returns) should approach the imprecise P(empty) upper bound.
+    adversary = FeedbackPolicy(lambda t, x: [1.4, 0.8])
+    n_runs, hits = 400, 0
+    for seed in range(n_runs):
+        run = simulate(population, adversary, HORIZON,
+                       rng=np.random.default_rng(seed), n_samples=2)
+        hits += run.final_state[0] == 0.0
+    res_max = imprecise_reward_bounds(chain, empty, HORIZON,
+                                      maximize=True, n_steps=200)
+    print(f"\nadversarial SSA estimate of P(empty at T): "
+          f"{hits / n_runs:.4f} over {n_runs} runs")
+    print(f"imprecise upper bound:                     {res_max.value:.4f}")
+    print(
+        "\nThe imprecise bounds certify worst-case stock-out risk against "
+        "any demand pattern inside the intervals — the input a rebalancing "
+        "planner needs when demand is driven by weather and events it "
+        "cannot predict."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Robust epidemic response: sizing a patching campaign under imprecision.
+
+The paper's introduction motivates the framework with epidemic/malware
+response: "we can design a patching (or vaccination) strategy to
+counteract an epidemic which is effective even if the infection rate
+changes in time in unpredictable ways."  This example does exactly that.
+
+Scenario: malware spreads through a network following the SIR dynamics
+of Section V, with a contact rate ``theta(t)`` the operator cannot
+observe, bounded in ``[1, 10]``.  The operator controls the *patching
+rate* ``b`` (how fast infected machines are cleaned).  The design
+question: what is the smallest ``b`` such that, whatever the environment
+does, the proportion of infected machines never exceeds 5% once the
+initial outbreak has been absorbed?
+
+Method: for a candidate ``b``, the worst-case infected proportion at a
+horizon is the Pontryagin bound ``max_theta(.) x_I(T)``; we take the max
+over a grid of horizons beyond the transient and bisect on ``b``.  The
+result is a *certified* design: the guarantee holds for every admissible
+parameter trajectory, not just constant ones.
+
+Run:  python examples/epidemic_response.py
+"""
+
+import numpy as np
+
+from repro import make_sir_model, pontryagin_transient_bounds, render_table
+
+TARGET_INFECTED = 0.05
+HORIZONS = np.linspace(1.0, 8.0, 8)
+X0 = [0.95, 0.05]  # small initial outbreak
+
+
+def worst_case_peak(patch_rate: float) -> float:
+    """Worst-case infected proportion over the horizon grid."""
+    model = make_sir_model(b=patch_rate)
+    bounds = pontryagin_transient_bounds(
+        model, X0, HORIZONS, observables=["I"], steps_per_unit=50,
+        sides=("upper",),
+    )
+    return float(np.max(bounds.upper["I"]))
+
+
+def main():
+    print("Designing a patching rate b such that worst-case infections "
+          f"stay below {TARGET_INFECTED:.0%}")
+    print("contact rate theta(t) in [1, 10], arbitrary in time\n")
+
+    # Coarse landscape first: show how the guarantee improves with b.
+    grid = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+    rows = [[b, worst_case_peak(b)] for b in grid]
+    print(render_table(["patch rate b", "worst-case peak infected"],
+                       rows, float_format="{:.4f}"))
+
+    # Bisection for the certified minimal rate.
+    lo, hi = 2.0, 12.0
+    if worst_case_peak(hi) > TARGET_INFECTED:
+        raise SystemExit("target unreachable in the searched range")
+    for _ in range(12):
+        mid = 0.5 * (lo + hi)
+        if worst_case_peak(mid) > TARGET_INFECTED:
+            lo = mid
+        else:
+            hi = mid
+    print(f"\nminimal certified patching rate: b* = {hi:.3f}")
+    print(f"worst-case peak at b*: {worst_case_peak(hi):.4f} "
+          f"(target {TARGET_INFECTED})")
+    print(
+        "\nThe certificate quantifies over *all* admissible theta(t): an "
+        "adaptive adversary (or any environment) cannot push infections "
+        "above the target. A design based only on the uncertain "
+        "(constant-theta) envelope would under-provision — see "
+        "examples/quickstart.py for the size of that gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

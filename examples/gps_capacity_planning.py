@@ -1,0 +1,100 @@
+"""Cloud capacity planning with the GPS model: arrivals matter, weights too.
+
+The queueing study of Section VI, as an operator would use it.  Two
+application classes share one machine under generalised processor
+sharing (GPS).  Per-class sending rates are imprecise (``lambda_1 in
+[1, 7]``, ``lambda_2 in [2, 3]``).  This example answers two planning
+questions:
+
+1. *Does the arrival process matter?*  Under Poisson job creation the
+   worst time-varying demand is no worse than the worst constant demand;
+   under MAP creation (an activation stage before sending) a varying
+   rate beats every constant one.  Sizing a system from constant-rate
+   envelopes is unsafe when arrivals are bursty.
+2. *How should the GPS weights be set?*  Tune ``phi_1`` to minimise the
+   worst-case total queue length over the imprecise inclusion — the
+   robust design of Section VI-C.
+
+Run:  python examples/gps_capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import (
+    extremal_trajectory,
+    gps_initial_state_map,
+    gps_initial_state_poisson,
+    make_gps_map_model,
+    make_gps_poisson_model,
+    render_table,
+    robust_minimize_scalar,
+    uncertain_envelope,
+)
+from repro.analysis.robust import worst_case_objective
+
+HORIZON = 5.0
+
+
+def arrival_process_comparison():
+    print("1) Worst-case queue build-up: Poisson vs MAP arrivals")
+    rows = []
+    for label, model, x0 in (
+        ("Poisson", make_gps_poisson_model(), gps_initial_state_poisson()),
+        ("MAP", make_gps_map_model(), gps_initial_state_map()),
+    ):
+        for name in ("Q1", "Q2"):
+            imprecise = extremal_trajectory(
+                model, x0, HORIZON, model.observables[name], n_steps=200,
+            )
+            env = uncertain_envelope(
+                model, x0, np.array([0.0, HORIZON]), resolution=7,
+                observables=[name],
+            )
+            rows.append([
+                label, name, float(env.upper[name][-1]), imprecise.value,
+                imprecise.value - float(env.upper[name][-1]),
+            ])
+    print(render_table(
+        ["arrivals", "class", "max (uncertain)", "max (imprecise)", "gap"],
+        rows, float_format="{:.4f}",
+    ))
+    print(
+        "-> Poisson: gap ~ 0 (constant worst case suffices). MAP: the "
+        "imprecise worst case is strictly larger — time-varying demand "
+        "exploits the activation delay (Figure 7 of the paper).\n"
+    )
+
+
+def weight_tuning():
+    print("2) Robust GPS weight: minimise worst-case Q1 + Q2 at T = 5")
+
+    def objective(phi1: float) -> float:
+        model = make_gps_map_model(phi=(phi1, 1.0))
+        return worst_case_objective(
+            model, gps_initial_state_map(), HORIZON,
+            model.observables["Qtotal"], n_steps=120,
+        )
+
+    design = robust_minimize_scalar(objective, (0.5, 20.0),
+                                    coarse_points=7, xatol=0.1)
+    rows = [[g, v] for g, v in zip(design.design_grid,
+                                   design.objective_grid)]
+    print(render_table(["phi1 (phi2 = 1)", "worst-case Q1 + Q2"],
+                       rows, float_format="{:.4f}"))
+    print(f"\nrobust optimum: phi1* = {design.optimum:.2f} "
+          f"(worst case {design.value:.4f}; convex on grid: "
+          f"{design.is_convex_on_grid(tol=1e-3)})")
+    print(
+        "-> The optimum prioritises the fast-service class well beyond "
+        "equal weights, mirroring the paper's phi_1 = 9 phi_2 finding for "
+        "its configuration."
+    )
+
+
+def main():
+    arrival_process_comparison()
+    weight_tuning()
+
+
+if __name__ == "__main__":
+    main()

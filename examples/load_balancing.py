@@ -1,0 +1,92 @@
+"""Robust load balancing: does power-of-two-choices survive bursty demand?
+
+An extension example on the classical supermarket model (``N`` servers,
+jobs sample ``d`` servers and join the shortest queue).  The arrival
+rate is *imprecise*: it may swing anywhere in ``[0.7, 0.95]`` jobs per
+server per unit time, on any schedule — flash crowds, diurnal waves,
+retry storms.  Three questions a capacity planner would ask:
+
+1. How much worse can the backlog get under adversarial demand than
+   under the worst *constant* demand?  (Pontryagin vs sweep bounds.)
+2. Does sampling two servers (d = 2) still beat random routing (d = 1)
+   in the worst case, not just on average?
+3. What box certifiably contains the long-run state, whatever the
+   demand does?  (Asymptotic reachable hull — the steady-state template
+   method, which works in this 10-dimensional model where the 2-D
+   Birkhoff construction does not apply.)
+
+Run:  python examples/load_balancing.py
+"""
+
+import numpy as np
+
+from repro import (
+    box_directions,
+    extremal_trajectory,
+    make_power_of_d_model,
+    render_table,
+    uncertain_envelope,
+)
+from repro.steadystate import asymptotic_reachable_hull
+
+DEPTH = 10
+HORIZON = 4.0
+ARRIVALS = (0.7, 0.95)
+
+
+def worst_case_backlog(choices: int):
+    model = make_power_of_d_model(buffer_depth=DEPTH, choices=choices,
+                                  arrival_bounds=ARRIVALS)
+    x0 = np.zeros(DEPTH)
+    x0[0] = 0.5
+    weights = model.observables["mean_queue_length"]
+    imprecise = extremal_trajectory(model, x0, HORIZON, weights, n_steps=200)
+    env = uncertain_envelope(model, x0, np.array([0.0, HORIZON]),
+                             resolution=9,
+                             observables=["mean_queue_length"])
+    return model, x0, imprecise.value, float(env.upper["mean_queue_length"][-1])
+
+
+def main():
+    print(f"supermarket model, buffer depth {DEPTH}, "
+          f"arrival rate imprecise in {ARRIVALS}\n")
+
+    rows = []
+    results = {}
+    for d in (1, 2):
+        model, x0, imprecise, uncertain = worst_case_backlog(d)
+        results[d] = (model, x0)
+        rows.append([f"d = {d}", uncertain, imprecise, imprecise - uncertain])
+    print("1) Worst-case mean queue length at T = %g" % HORIZON)
+    print(render_table(
+        ["routing", "max (uncertain)", "max (imprecise)", "gap"],
+        rows, float_format="{:.4f}",
+    ))
+    ratio = rows[1][2] / rows[0][2]
+    print(f"\n2) Robust d=2 vs d=1: worst-case backlog ratio = {ratio:.2f} "
+          "- the power-of-two advantage survives adversarial demand.\n")
+
+    model, x0 = results[2]
+    hull = asymptotic_reachable_hull(
+        model, x0,
+        horizons=np.array([6.0, 12.0, 18.0]),
+        directions=box_directions(DEPTH),
+        n_steps_per_unit=30,
+    )
+    lower, upper = hull.bounding_box()
+    print("3) Certified long-run box for d = 2 (per tail coordinate x_k):")
+    print(render_table(
+        ["k", "x_k lower", "x_k upper"],
+        [[k + 1, float(lower[k]), float(upper[k])] for k in range(DEPTH)],
+        float_format="{:.4f}",
+    ))
+    print(
+        "\nWhatever the demand trajectory inside the interval, the "
+        "stationary tail fractions stay inside this box — e.g. the "
+        f"fraction of servers with >= 4 jobs never settles above "
+        f"{upper[3]:.3f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

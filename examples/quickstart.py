@@ -1,0 +1,72 @@
+"""Quickstart: transient bounds for an epidemic with an imprecise contact rate.
+
+The SIR model of the paper (Section V): nodes are susceptible, infected
+or recovered; the contact rate ``theta`` is only known to lie in
+``[1, 10]`` and may vary arbitrarily in time (the *imprecise* scenario).
+This script computes, for the proportion of infected nodes:
+
+1. the *uncertain* envelope — the range reachable by any constant
+   ``theta`` (a parameter sweep over the mean-field ODEs), and
+2. the *imprecise* bounds — the exact range reachable when ``theta``
+   varies in time, computed by Pontryagin forward–backward sweeps on the
+   mean-field differential inclusion,
+
+and prints them side by side.  The imprecise bounds are strictly wider:
+an adversarial environment can push the epidemic beyond what any fixed
+parameter explains.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    make_sir_model,
+    pontryagin_transient_bounds,
+    render_table,
+    uncertain_envelope,
+)
+
+
+def main():
+    model = make_sir_model()          # a=0.1, b=5, c=1, theta in [1, 10]
+    x0 = [0.7, 0.3]                   # 70% susceptible, 30% infected
+    horizons = np.linspace(0.5, 4.0, 8)
+
+    print("SIR with imprecise contact rate theta(t) in [1, 10]")
+    print(f"initial state (S, I) = {tuple(x0)}\n")
+
+    uncertain = uncertain_envelope(
+        model, x0, np.concatenate([[0.0], horizons]),
+        resolution=21, observables=["I"],
+    )
+    imprecise = pontryagin_transient_bounds(
+        model, x0, horizons, observables=["I"], steps_per_unit=80,
+    )
+
+    rows = []
+    for k, t in enumerate(horizons):
+        rows.append([
+            float(t),
+            float(uncertain.lower["I"][k + 1]),
+            float(uncertain.upper["I"][k + 1]),
+            float(imprecise.lower["I"][k]),
+            float(imprecise.upper["I"][k]),
+        ])
+    print(render_table(
+        ["t", "I min (uncertain)", "I max (uncertain)",
+         "I min (imprecise)", "I max (imprecise)"],
+        rows, float_format="{:.4f}",
+    ))
+
+    gap = imprecise.upper["I"][-1] - uncertain.upper["I"][-1]
+    print(
+        f"\nAt t = {horizons[-1]:g} the imprecise maximum exceeds the best "
+        f"constant-parameter maximum by {gap:.4f} — time-varying "
+        "environments are strictly more dangerous than unknown-but-fixed "
+        "ones (Figure 1 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

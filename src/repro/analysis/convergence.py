@@ -1,0 +1,149 @@
+"""Finite-``N`` convergence to the Birkhoff centre (Figure 6 / Theorem 2).
+
+Theorem 2 states that the distance from the finite-``N`` process to the
+asymptotic set of the inclusion vanishes (in probability) as ``N`` grows;
+Figure 6 illustrates it with SSA sample paths against the Birkhoff
+centre.  This module quantifies the picture:
+
+- :func:`birkhoff_inclusion_fraction` — the fraction of post-burn-in SSA
+  samples lying within ``eps`` of the computed region, plus distance
+  statistics;
+- :func:`convergence_study` — run the measurement over a ladder of
+  population sizes and policies, producing the numbers behind the
+  "as N grows, the simulation gets included in the Birkhoff centre"
+  claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation import ControlPolicy, SimulationResult, simulate
+from repro.steadystate.birkhoff import BirkhoffResult
+
+__all__ = [
+    "InclusionStats",
+    "birkhoff_inclusion_fraction",
+    "ConvergenceStudy",
+    "convergence_study",
+]
+
+
+@dataclass
+class InclusionStats:
+    """Distance statistics of a sampled path against a region."""
+
+    fraction_inside: float
+    mean_distance: float
+    max_distance: float
+    n_samples: int
+
+    def __repr__(self) -> str:
+        return (
+            f"InclusionStats(inside={self.fraction_inside:.3f}, "
+            f"mean_d={self.mean_distance:.4g}, max_d={self.max_distance:.4g})"
+        )
+
+
+def birkhoff_inclusion_fraction(
+    result: SimulationResult,
+    region: BirkhoffResult,
+    burn_in: float = 0.0,
+    epsilon: float = 0.0,
+    projection: Optional[Sequence[int]] = None,
+) -> InclusionStats:
+    """Measure how much of a sampled path lies inside a Birkhoff region.
+
+    Parameters
+    ----------
+    result:
+        An SSA run (its states are normalised densities).
+    region:
+        A computed Birkhoff centre (2-D).
+    burn_in:
+        Time before which samples are discarded (transient window).
+    epsilon:
+        Inclusion tolerance: a sample within distance ``epsilon`` counts
+        as inside (the ``eps_N`` of Theorem 2; a natural choice is a few
+        multiples of ``1/sqrt(N)``).
+    projection:
+        Indices of the two state coordinates matching the region's plane
+        (defaults to the first two).
+    """
+    sampled = result.after(burn_in) if burn_in > 0 else result
+    projection = list(projection) if projection is not None else [0, 1]
+    if len(projection) != 2:
+        raise ValueError("projection must name exactly two coordinates")
+    pts = sampled.states[:, projection]
+    distances = np.array([region.distance(p) for p in pts])
+    inside = distances <= epsilon + 1e-12
+    return InclusionStats(
+        fraction_inside=float(np.mean(inside)),
+        mean_distance=float(np.mean(distances)),
+        max_distance=float(np.max(distances)),
+        n_samples=int(pts.shape[0]),
+    )
+
+
+@dataclass
+class ConvergenceStudy:
+    """Inclusion statistics across population sizes and policies."""
+
+    region: BirkhoffResult
+    stats: Dict[str, Dict[int, InclusionStats]] = field(default_factory=dict)
+
+    def fractions(self, policy_name: str) -> List[float]:
+        """Inside fractions of one policy, ordered by population size."""
+        by_size = self.stats[policy_name]
+        return [by_size[n].fraction_inside for n in sorted(by_size)]
+
+    def is_monotone_improving(self, policy_name: str, slack: float = 0.05) -> bool:
+        """Whether inclusion improves (weakly, up to ``slack``) with N."""
+        fracs = self.fractions(policy_name)
+        return all(b >= a - slack for a, b in zip(fracs, fracs[1:]))
+
+
+def convergence_study(
+    model,
+    region: BirkhoffResult,
+    policies: Dict[str, Callable[[], ControlPolicy]],
+    sizes: Sequence[int],
+    x0,
+    t_final: float,
+    burn_in: float,
+    seed: int = 0,
+    n_samples: int = 2000,
+    epsilon_fn: Optional[Callable[[int], float]] = None,
+    projection: Optional[Sequence[int]] = None,
+) -> ConvergenceStudy:
+    """Run the Figure-6 measurement over sizes and policies.
+
+    Parameters
+    ----------
+    policies:
+        Mapping from a policy label to a *factory* returning a fresh
+        policy instance (policies are stateful).
+    epsilon_fn:
+        Inclusion tolerance per population size; defaults to
+        ``3 / sqrt(N)`` (the CLT-scale fluctuation band around the
+        mean-field limit).
+    """
+    if epsilon_fn is None:
+        epsilon_fn = lambda n: 3.0 / np.sqrt(n)  # noqa: E731
+    study = ConvergenceStudy(region=region)
+    for name, factory in policies.items():
+        study.stats[name] = {}
+        for k, n in enumerate(sizes):
+            rng = np.random.default_rng(seed + 1000 * k + hash(name) % 1000)
+            population = model.instantiate(int(n), x0)
+            run = simulate(
+                population, factory(), t_final, rng=rng, n_samples=n_samples
+            )
+            study.stats[name][int(n)] = birkhoff_inclusion_fraction(
+                run, region, burn_in=burn_in, epsilon=epsilon_fn(int(n)),
+                projection=projection,
+            )
+    return study

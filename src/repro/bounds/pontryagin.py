@@ -1,0 +1,544 @@
+"""Reachability bounds via Pontryagin's maximum principle (Section IV-C).
+
+The extreme value of a linear functional ``c . x(T)`` over the solutions
+of the mean-field inclusion is an optimal-control problem: choose the
+measurable signal ``theta(t) in Theta`` maximising ``c . x(T)`` subject to
+``x' = f(x, theta)``.  Pontryagin's principle gives necessary conditions
+(Eqs. 7–9 of the paper): along an optimal trajectory there is a costate
+``p`` with
+
+.. math::
+    \\dot x = f(x, \\theta), \\qquad
+    \\theta(t) \\in \\arg\\max_\\theta \\; p \\cdot f(x, \\theta), \\qquad
+    \\dot p = -\\Big(\\frac{\\partial f}{\\partial x}\\Big)^T p,
+    \\qquad p(T) = c.
+
+(The paper states the terminal condition as ``p_i(T) = -1`` with the same
+argmax; that sign convention pairs with a minimum-principle reading — we
+use the standard maximum-principle convention above, and obtain minima by
+negating ``c``.)
+
+:func:`extremal_trajectory` solves these conditions with the fixed-point
+(forward–backward sweep) iteration the paper describes: integrate the
+state forward under the current control, the costate backward along the
+stored state, re-maximise the Hamiltonian pointwise, repeat until the
+control stabilises.  For the affine-in-theta models the Hamiltonian
+maximiser is bang-bang, so the iteration converges in a handful of
+sweeps; the convergence test combines control stability with objective
+stability to tolerate chattering on the measure-zero switching set.
+
+:func:`pontryagin_transient_bounds` evaluates the bounds over a grid of
+horizons (the curves of Figures 1 and 7), warm-starting each horizon with
+the previous control signal.  :func:`reachable_polytope_2d` assembles the
+convex template polyhedron of the remark in Section IV-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.inclusion import DriftExtremizer
+from repro.ode import Trajectory, rk4_integrate, rk4_integrate_controlled
+
+__all__ = [
+    "PontryaginResult",
+    "TransientBounds",
+    "extremal_trajectory",
+    "pontryagin_transient_bounds",
+    "switching_times",
+    "reachable_polytope_2d",
+]
+
+
+@dataclass
+class PontryaginResult:
+    """An extremal trajectory produced by the forward–backward sweep.
+
+    Attributes
+    ----------
+    times:
+        The shared time grid, shape ``(n,)``.
+    states, costates:
+        State and costate along the grid, shape ``(n, d)``.
+    controls:
+        Piecewise-constant parameter signal, one row per grid *interval*,
+        shape ``(n - 1, p)``.
+    direction:
+        The template direction ``c`` of the objective ``c . x(T)``.
+    maximize:
+        Whether the objective was maximised (else minimised).
+    value:
+        The achieved objective ``c . x(T)``.
+    converged, iterations:
+        Sweep diagnostics.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    costates: np.ndarray
+    controls: np.ndarray
+    direction: np.ndarray
+    maximize: bool
+    value: float
+    converged: bool
+    iterations: int
+
+    @property
+    def trajectory(self) -> Trajectory:
+        """The extremal state trajectory."""
+        return Trajectory(self.times, self.states)
+
+    def control_at(self, t: float) -> np.ndarray:
+        """The parameter applied at time ``t`` (left-continuous lookup)."""
+        index = int(np.searchsorted(self.times, t, side="right") - 1)
+        index = min(max(index, 0), self.controls.shape[0] - 1)
+        return self.controls[index].copy()
+
+
+def _control_index(times: np.ndarray, t: float, n_controls: int) -> int:
+    index = int(np.searchsorted(times, t, side="right") - 1)
+    return min(max(index, 0), n_controls - 1)
+
+
+def extremal_trajectory(
+    model,
+    x0,
+    horizon: float,
+    direction,
+    maximize: bool = True,
+    n_steps: int = 400,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+    value_tol: float = 1e-6,
+    value_patience: int = 3,
+    chatter_intervals: int = 2,
+    extremizer: Optional[DriftExtremizer] = None,
+    initial_controls: Optional[np.ndarray] = None,
+) -> PontryaginResult:
+    """Compute the trajectory extremising ``direction . x(T)``.
+
+    Parameters
+    ----------
+    model:
+        Population model (drift, Jacobian, ``Theta``).
+    x0:
+        Initial state.
+    horizon:
+        Terminal time ``T > 0``.
+    direction:
+        Template direction ``c`` (e.g. a coordinate axis for the
+        ``x_I^max`` curves of Figure 1, or an observable weight vector).
+    maximize:
+        Maximise when ``True``, minimise when ``False``.
+    n_steps:
+        RK4 grid intervals shared by state, costate and control.
+    max_iter, tol, value_patience, chatter_intervals:
+        Sweep termination: stop when the control signal changed on at
+        most ``chatter_intervals`` grid intervals (a bang-bang switch
+        boundary hopping between neighbouring cells is a discretisation
+        artefact, not non-convergence), or when the objective moved by
+        less than ``tol`` (relative) for ``value_patience`` consecutive
+        sweeps.
+    extremizer:
+        Optional pre-built Hamiltonian maximiser.
+    initial_controls:
+        Warm-start control signal, shape ``(n_steps, p)``; defaults to
+        the centre of ``Theta`` on every interval.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if n_steps < 2:
+        raise ValueError("n_steps must be >= 2")
+    x0 = np.asarray(x0, dtype=float)
+    direction = np.asarray(direction, dtype=float)
+    if direction.shape != (model.dim,):
+        raise ValueError(
+            f"direction has shape {direction.shape}, expected ({model.dim},)"
+        )
+    if not np.any(direction != 0.0):
+        raise ValueError("direction must be non-zero")
+    extremizer = extremizer or DriftExtremizer(model)
+    # Internally we always maximise c . x(T).
+    c = direction if maximize else -direction
+    grid = np.linspace(0.0, float(horizon), n_steps + 1)
+
+    if initial_controls is None:
+        controls = np.tile(model.theta_set.center(), (n_steps, 1))
+    else:
+        controls = np.array(initial_controls, dtype=float)
+        if controls.ndim == 1:
+            controls = controls[:, None]
+        if controls.shape != (n_steps, model.theta_dim):
+            raise ValueError(
+                f"initial_controls has shape {controls.shape}, expected "
+                f"({n_steps}, {model.theta_dim})"
+            )
+
+    def dynamics(t, x, u):
+        return model.drift(x, u)
+
+    best: Optional[Tuple[float, np.ndarray, np.ndarray, np.ndarray]] = None
+    value_prev = None
+    stable_count = 0
+    converged = False
+    iterations = 0
+    costate_states = np.tile(c, (n_steps + 1, 1))
+    # Full-replacement updates can 2-cycle around a bang-bang switch; the
+    # parameter set is convex, so relaxed (blended) controls are
+    # admissible and the step shrinks whenever the objective regresses.
+    relaxation = 1.0
+
+    for iterations in range(1, max_iter + 1):
+        # (7) forward state sweep under the current control.
+        x_traj = rk4_integrate_controlled(dynamics, x0, grid, controls)
+        value = float(c @ x_traj.final_state)
+        if best is None or value > best[0]:
+            best = (value, x_traj.states.copy(), costate_states.copy(),
+                    controls.copy())
+
+        # (9) backward costate sweep along the stored state.
+        def costate_field(t, p):
+            x = x_traj(t)
+            u = controls[_control_index(grid, t, n_steps)]
+            return -model.jacobian_x(x, u).T @ p
+
+        p_rev = rk4_integrate(costate_field, c, grid[::-1])
+        costate_states = p_rev.states[::-1].copy()
+
+        # (8) pointwise Hamiltonian maximisation -> target control signal.
+        target_controls = np.empty_like(controls)
+        for i in range(n_steps):
+            theta_star, _ = extremizer.maximize_direction(
+                x_traj.states[i], costate_states[i]
+            )
+            target_controls[i] = theta_star
+
+        changed = np.any(np.abs(target_controls - controls) > tol, axis=1)
+        n_changed = int(np.count_nonzero(changed))
+        if n_changed <= chatter_intervals:
+            converged = True
+            # One final forward pass under the fixed-point control.
+            controls = target_controls
+            x_traj = rk4_integrate_controlled(dynamics, x0, grid, controls)
+            value = float(c @ x_traj.final_state)
+            if value >= best[0]:
+                best = (value, x_traj.states.copy(), costate_states.copy(),
+                        controls.copy())
+            break
+        if value_prev is not None and value < value_prev - value_tol:
+            relaxation = max(0.5 * relaxation, 0.05)
+        if value_prev is not None and abs(value - value_prev) <= value_tol * max(
+            1.0, abs(value)
+        ):
+            stable_count += 1
+            if stable_count >= value_patience:
+                converged = True
+                break
+        else:
+            stable_count = 0
+        value_prev = value
+        controls = controls + relaxation * (target_controls - controls)
+
+    value, states, costates, controls = best
+    # Relaxed iterations can leave blended (interior) controls; project
+    # back to the pointwise Hamiltonian maximiser — the PMP-consistent
+    # bang-bang signal — and keep it when it does not lose value.
+    projected = np.empty_like(controls)
+    for i in range(n_steps):
+        projected[i] = extremizer.maximize_direction(states[i], costates[i])[0]
+    x_proj = rk4_integrate_controlled(dynamics, x0, grid, projected)
+    value_proj = float(c @ x_proj.final_state)
+    if value_proj >= value - value_tol * max(1.0, abs(value)):
+        value = max(value, value_proj)
+        states = x_proj.states.copy()
+        controls = projected
+
+    return PontryaginResult(
+        times=grid,
+        states=states,
+        costates=costates,
+        controls=controls,
+        direction=direction.copy(),
+        maximize=maximize,
+        value=value if maximize else -value,
+        converged=converged,
+        iterations=iterations,
+    )
+
+
+@dataclass
+class TransientBounds:
+    """Min/max of observables at a grid of horizons (Figures 1 and 7).
+
+    ``lower[name][k]`` and ``upper[name][k]`` bound the observable at
+    ``horizons[k]`` over all solutions of the imprecise inclusion.
+    """
+
+    horizons: np.ndarray
+    lower: Dict[str, np.ndarray] = field(default_factory=dict)
+    upper: Dict[str, np.ndarray] = field(default_factory=dict)
+    lower_results: Dict[str, List[PontryaginResult]] = field(default_factory=dict)
+    upper_results: Dict[str, List[PontryaginResult]] = field(default_factory=dict)
+
+    @property
+    def observable_names(self):
+        return sorted(self.lower)
+
+    def width(self, name: str) -> np.ndarray:
+        return self.upper[name] - self.lower[name]
+
+    def final_bounds(self, name: str) -> Tuple[float, float]:
+        return float(self.lower[name][-1]), float(self.upper[name][-1])
+
+
+def _resolve_directions(model, observables) -> Dict[str, np.ndarray]:
+    if observables is None:
+        if model.observables:
+            return {k: np.asarray(v, float) for k, v in model.observables.items()}
+        return {
+            name: np.eye(model.dim)[i] for i, name in enumerate(model.state_names)
+        }
+    directions = {}
+    for entry in observables:
+        if isinstance(entry, str):
+            if entry in model.observables:
+                directions[entry] = np.asarray(model.observables[entry], float)
+            elif entry in model.state_names:
+                directions[entry] = np.eye(model.dim)[model.state_names.index(entry)]
+            else:
+                raise KeyError(f"unknown observable {entry!r}")
+        else:
+            name, vector = entry
+            directions[str(name)] = np.asarray(vector, dtype=float)
+    return directions
+
+
+def _resample_controls(old_grid: np.ndarray, old_controls: np.ndarray,
+                       new_grid: np.ndarray) -> np.ndarray:
+    """Warm start: carry a control signal onto a new (longer) grid."""
+    n_new = new_grid.shape[0] - 1
+    out = np.empty((n_new, old_controls.shape[1]))
+    for i in range(n_new):
+        t_mid = 0.5 * (new_grid[i] + new_grid[i + 1])
+        out[i] = old_controls[_control_index(old_grid, t_mid, old_controls.shape[0])]
+    return out
+
+
+def pontryagin_transient_bounds(
+    model,
+    x0,
+    horizons,
+    observables: Optional[Sequence] = None,
+    steps_per_unit: float = 100.0,
+    min_steps: int = 60,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+    extremizer: Optional[DriftExtremizer] = None,
+    keep_results: bool = False,
+    sides: Sequence[str] = ("lower", "upper"),
+) -> TransientBounds:
+    """Exact imprecise-model bounds at each horizon, per observable.
+
+    One Pontryagin sweep per (horizon, observable, side), warm-started
+    from the previous horizon's optimal control.  This regenerates the
+    ``x^{imprecise}`` curves of Figure 1 and the queue-length curves of
+    Figure 7.
+
+    ``sides`` selects which bounds to compute (``"lower"``, ``"upper"``
+    or both); robust-design loops that only consume the worst case pass
+    ``sides=("upper",)`` and halve the cost.  Unselected sides are left
+    as NaN in the result.
+    """
+    horizons = np.asarray(horizons, dtype=float)
+    if np.any(horizons <= 0):
+        raise ValueError("all horizons must be positive (t = 0 is the initial state)")
+    if np.any(np.diff(horizons) <= 0):
+        raise ValueError("horizons must be strictly increasing")
+    invalid_sides = set(sides) - {"lower", "upper"}
+    if invalid_sides or not sides:
+        raise ValueError(
+            f"sides must be a non-empty subset of ('lower', 'upper'); "
+            f"got {tuple(sides)}"
+        )
+    directions = _resolve_directions(model, observables)
+    extremizer = extremizer or DriftExtremizer(model)
+    bounds = TransientBounds(horizons=horizons.copy())
+    requested = tuple(
+        is_max for is_max in (False, True)
+        if ("upper" if is_max else "lower") in sides
+    )
+    for name, c in directions.items():
+        bounds.lower[name] = np.full(horizons.shape[0], np.nan)
+        bounds.upper[name] = np.full(horizons.shape[0], np.nan)
+        if keep_results:
+            bounds.lower_results[name] = []
+            bounds.upper_results[name] = []
+        for is_max in requested:
+            warm: Optional[Tuple[np.ndarray, np.ndarray]] = None
+            for k, horizon in enumerate(horizons):
+                n_steps = max(min_steps, int(np.ceil(horizon * steps_per_unit)))
+                initial = None
+                if warm is not None:
+                    old_grid, old_controls = warm
+                    initial = _resample_controls(
+                        old_grid, old_controls, np.linspace(0, horizon, n_steps + 1)
+                    )
+                result = extremal_trajectory(
+                    model, x0, horizon, c,
+                    maximize=is_max,
+                    n_steps=n_steps,
+                    max_iter=max_iter,
+                    tol=tol,
+                    extremizer=extremizer,
+                    initial_controls=initial,
+                )
+                warm = (result.times, result.controls)
+                target = bounds.upper if is_max else bounds.lower
+                target[name][k] = result.value
+                if keep_results:
+                    store = bounds.upper_results if is_max else bounds.lower_results
+                    store[name].append(result)
+    return bounds
+
+
+def switching_times(result: PontryaginResult, param_index: int = 0,
+                    atol: float = 1e-9, min_dwell: float = 0.0) -> List[float]:
+    """Times where the extremal control switches value (bang-bang knots).
+
+    Returns the left grid times of the intervals where parameter
+    coordinate ``param_index`` changes; Figure 2's commentary (switch at
+    ``t ~ 2.25`` for the maximising control) is recovered this way.
+
+    ``min_dwell`` consolidates numerical chattering: near a switching
+    time the Hamiltonian's switching function is close to zero and the
+    discrete control can flip back and forth across a few cells without
+    affecting the objective.  Segments shorter than ``min_dwell`` are
+    merged into their predecessor before switches are read off, so only
+    the macroscopic bang-bang structure is reported.
+    """
+    signal = result.controls[:, param_index]
+    times = result.times
+    if min_dwell <= 0.0:
+        jumps = np.nonzero(np.abs(np.diff(signal)) > atol)[0]
+        return [float(times[j + 1]) for j in jumps]
+    # Build (value, t_start, t_end) segments of the piecewise signal.
+    segments: List[List[float]] = []
+    for i, value in enumerate(signal):
+        if segments and abs(value - segments[-1][0]) <= atol:
+            segments[-1][2] = times[i + 1]
+        else:
+            segments.append([float(value), float(times[i]), float(times[i + 1])])
+    # Merge short segments into their predecessor until all dwell times
+    # are macroscopic (the first segment merges forward instead).
+    changed = True
+    while changed and len(segments) > 1:
+        changed = False
+        for k, seg in enumerate(segments):
+            if seg[2] - seg[1] >= min_dwell:
+                continue
+            if k == 0:
+                segments[1][1] = seg[1]
+            else:
+                segments[k - 1][2] = seg[2]
+            del segments[k]
+            changed = True
+            break
+    # Re-merge neighbours that ended up with equal values.
+    merged: List[List[float]] = []
+    for seg in segments:
+        if merged and abs(seg[0] - merged[-1][0]) <= atol:
+            merged[-1][2] = seg[2]
+        else:
+            merged.append(seg)
+    return [float(seg[1]) for seg in merged[1:]]
+
+
+def switching_function(result: PontryaginResult, model,
+                       param_index: int = 0) -> np.ndarray:
+    """The Hamiltonian switching function ``sigma_k(t) = p(t) . G(x(t))_k``.
+
+    For an affine-in-theta model the Hamiltonian is
+    ``p . g0(x) + sum_k theta_k sigma_k`` — the optimal ``theta_k`` sits
+    at its upper bound where ``sigma_k > 0`` and its lower bound where
+    ``sigma_k < 0``, and switches exactly at the zeros of ``sigma_k``.
+    """
+    if not model.is_affine:
+        raise ValueError("switching functions require an affine-in-theta model")
+    values = np.empty(result.times.shape[0])
+    for i, (x, p) in enumerate(zip(result.states, result.costates)):
+        _, big_g = model.affine_parts(x)
+        values[i] = float(p @ big_g[:, param_index])
+    return values
+
+
+def switching_times_from_costate(result: PontryaginResult, model,
+                                 param_index: int = 0) -> List[float]:
+    """Switching times as zeros of the costate switching function.
+
+    More robust than reading the discrete control signal: near a switch
+    the control can chatter across grid cells or retain relaxation
+    blending, while the switching function crosses zero once per genuine
+    structural switch.  Zeros are located by linear interpolation
+    between grid points.
+    """
+    sigma = switching_function(result, model, param_index=param_index)
+    times = result.times
+    roots: List[float] = []
+    for i in range(sigma.shape[0] - 1):
+        a, b = sigma[i], sigma[i + 1]
+        if a == 0.0:
+            continue
+        if a * b < 0.0:
+            t_root = times[i] + (times[i + 1] - times[i]) * a / (a - b)
+            roots.append(float(t_root))
+    return roots
+
+
+def reachable_polytope_2d(
+    model,
+    x0,
+    horizon: float,
+    n_directions: int = 16,
+    n_steps: int = 300,
+    max_iter: int = 100,
+    extremizer: Optional[DriftExtremizer] = None,
+) -> np.ndarray:
+    """Convex template over-approximation of the reachable set at ``T``.
+
+    Runs one Pontryagin sweep per template direction ``c_k`` on the unit
+    circle and intersects the halfspaces ``c_k . x <= h_k`` — the
+    "convex template polyhedron" refinement noted at the end of
+    Section IV-C.  Returns the polygon vertices (CCW).  Only implemented
+    for 2-D models.
+    """
+    if model.dim != 2:
+        raise ValueError("template polytopes are implemented for 2-D models")
+    if n_directions < 3:
+        raise ValueError("need at least 3 template directions")
+    extremizer = extremizer or DriftExtremizer(model)
+    angles = np.linspace(0.0, 2.0 * np.pi, n_directions, endpoint=False)
+    normals = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    offsets = np.empty(n_directions)
+    for k, c in enumerate(normals):
+        result = extremal_trajectory(
+            model, x0, horizon, c, maximize=True, n_steps=n_steps,
+            max_iter=max_iter, extremizer=extremizer,
+        )
+        offsets[k] = result.value
+    # Vertices of the halfspace intersection: adjacent constraint pairs.
+    vertices = []
+    for k in range(n_directions):
+        a1, b1 = normals[k], offsets[k]
+        a2, b2 = normals[(k + 1) % n_directions], offsets[(k + 1) % n_directions]
+        matrix = np.array([a1, a2])
+        det = np.linalg.det(matrix)
+        if abs(det) < 1e-12:
+            continue
+        vertex = np.linalg.solve(matrix, np.array([b1, b2]))
+        # Keep only vertices satisfying all constraints (non-redundant).
+        if np.all(normals @ vertex <= offsets + 1e-7):
+            vertices.append(vertex)
+    return np.array(vertices)

@@ -1,0 +1,156 @@
+"""Uncertain-scenario envelopes by parameter sweeps.
+
+In the *uncertain* scenario the parameter is constant in time, so by
+Corollary 1 the limiting behaviours are exactly the solutions of the ODE
+family ``x' = f(x, theta)`` for ``theta in Theta``.  The envelope
+
+.. math::
+    x^{uncertain}_i(t) = \\max_{\\theta} x^{\\theta}_i(t)
+
+is computed here by "numerical exploration of all the parameters theta"
+(Section V-B of the paper): integrate the ODE on a grid of ``Theta`` and
+take pointwise extrema.  The returned :class:`UncertainEnvelope` records
+which constant parameter attains each bound at each time, which is what
+lets Figure 1 say *the imprecise maximum exceeds the uncertain maximum
+attained by any constant parameter*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.ode import solve_ode
+
+__all__ = ["UncertainEnvelope", "uncertain_envelope"]
+
+
+@dataclass
+class UncertainEnvelope:
+    """Pointwise extrema of linear observables over constant parameters.
+
+    Attributes
+    ----------
+    times:
+        Shared time grid, shape ``(n,)``.
+    lower, upper:
+        Per-observable bound series, each shape ``(n,)``.
+    argmin_theta, argmax_theta:
+        The constant parameter attaining each bound at each time,
+        shape ``(n, theta_dim)``.
+    thetas:
+        The swept parameter grid, shape ``(m, theta_dim)``.
+    """
+
+    times: np.ndarray
+    lower: Dict[str, np.ndarray] = field(default_factory=dict)
+    upper: Dict[str, np.ndarray] = field(default_factory=dict)
+    argmin_theta: Dict[str, np.ndarray] = field(default_factory=dict)
+    argmax_theta: Dict[str, np.ndarray] = field(default_factory=dict)
+    thetas: Optional[np.ndarray] = None
+
+    @property
+    def observable_names(self):
+        return sorted(self.lower)
+
+    def width(self, name: str) -> np.ndarray:
+        """Envelope width ``upper - lower`` of one observable."""
+        return self.upper[name] - self.lower[name]
+
+    def final_bounds(self, name: str):
+        """``(lower, upper)`` of one observable at the last time point."""
+        return float(self.lower[name][-1]), float(self.upper[name][-1])
+
+
+def _resolve_weights(model, observables) -> Dict[str, np.ndarray]:
+    """Build the ``name -> weight-vector`` map for the requested observables."""
+    if observables is None:
+        if model.observables:
+            return {k: np.asarray(v, float) for k, v in model.observables.items()}
+        return {
+            name: np.eye(model.dim)[i] for i, name in enumerate(model.state_names)
+        }
+    weights = {}
+    for entry in observables:
+        if isinstance(entry, str):
+            if entry in model.observables:
+                weights[entry] = np.asarray(model.observables[entry], float)
+            elif entry in model.state_names:
+                weights[entry] = np.eye(model.dim)[model.state_names.index(entry)]
+            else:
+                raise KeyError(
+                    f"unknown observable {entry!r}; model offers "
+                    f"{sorted(model.observables) + list(model.state_names)}"
+                )
+        else:
+            name, vector = entry
+            vector = np.asarray(vector, dtype=float)
+            if vector.shape != (model.dim,):
+                raise ValueError(f"observable {name!r}: weight shape {vector.shape}")
+            weights[str(name)] = vector
+    return weights
+
+
+def uncertain_envelope(
+    model,
+    x0,
+    t_eval,
+    resolution: int = 15,
+    observables: Optional[Sequence] = None,
+    rtol: float = 1e-8,
+    atol: float = 1e-10,
+) -> UncertainEnvelope:
+    """Sweep constant parameters and envelope the observables.
+
+    Parameters
+    ----------
+    model:
+        The population model (provides drift and ``Theta``).
+    x0:
+        Initial state of the mean-field ODEs.
+    t_eval:
+        Time grid for the envelope.
+    resolution:
+        Grid points per parameter axis; the sweep also always includes
+        the corners of ``Theta``.  Cost grows as ``resolution ** dim``.
+    observables:
+        Which linear observables to envelope: names of model observables
+        or state coordinates, or ``(name, weights)`` pairs.  Defaults to
+        the model's declared observables (or raw coordinates).
+    """
+    t_eval = np.asarray(t_eval, dtype=float)
+    if t_eval.ndim != 1 or t_eval.shape[0] < 1:
+        raise ValueError("t_eval must be a non-empty 1-D array")
+    if resolution < 2:
+        raise ValueError("resolution must be >= 2")
+    weights = _resolve_weights(model, observables)
+
+    thetas = np.vstack([model.theta_set.grid(resolution), model.theta_set.corners()])
+    # De-duplicate rows (corners usually coincide with grid extremes).
+    thetas = np.unique(thetas, axis=0)
+
+    n_t = t_eval.shape[0]
+    values = {name: np.empty((thetas.shape[0], n_t)) for name in weights}
+    t_span = (float(t_eval[0]), float(t_eval[-1]))
+    for k, theta in enumerate(thetas):
+        if t_span[0] == t_span[1]:
+            states = np.asarray(x0, float)[None, :].repeat(n_t, axis=0)
+        else:
+            traj = solve_ode(model.vector_field(theta), x0, t_span,
+                             t_eval=t_eval, rtol=rtol, atol=atol)
+            states = traj.states
+        for name, w in weights.items():
+            values[name][k] = states @ w
+
+    result = UncertainEnvelope(times=t_eval.copy(), thetas=thetas)
+    for name in weights:
+        arr = values[name]
+        k_min = np.argmin(arr, axis=0)
+        k_max = np.argmax(arr, axis=0)
+        result.lower[name] = arr[k_min, np.arange(n_t)]
+        result.upper[name] = arr[k_max, np.arange(n_t)]
+        result.argmin_theta[name] = thetas[k_min]
+        result.argmax_theta[name] = thetas[k_max]
+    return result

@@ -1,0 +1,61 @@
+"""Reachable-state enumeration of finite population chains."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.population import FinitePopulation
+
+__all__ = ["enumerate_lattice"]
+
+
+def enumerate_lattice(
+    population: FinitePopulation,
+    max_states: int = 200_000,
+) -> Tuple[np.ndarray, Dict[Tuple[int, ...], int]]:
+    """Enumerate all count vectors reachable from the initial state.
+
+    Breadth-first search over the transition graph of the lattice chain.
+    An event is considered *possible* when its jump keeps every count in
+    ``[0, N]``; rate positivity is parameter-dependent and therefore not
+    used to prune (the enumeration must cover every ``theta in Theta``).
+
+    Returns
+    -------
+    states:
+        Integer array of shape ``(n_states, d)`` in discovery order
+        (the initial state is row 0).
+    index:
+        Mapping from count tuples to row indices.
+    """
+    n = population.population_size
+    changes = [
+        tr.change.astype(np.int64) for tr in population.model.transitions
+    ]
+    start = tuple(int(v) for v in population.initial_counts)
+    index: Dict[Tuple[int, ...], int] = {start: 0}
+    order = [start]
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        current_arr = np.asarray(current, dtype=np.int64)
+        for change in changes:
+            nxt = current_arr + change
+            if np.any(nxt < 0) or np.any(nxt > n):
+                continue
+            key = tuple(int(v) for v in nxt)
+            if key in index:
+                continue
+            if len(index) >= max_states:
+                raise RuntimeError(
+                    f"reachable lattice exceeds max_states={max_states}; "
+                    "exact CTMC analysis is not feasible at this size "
+                    "(use the mean-field methods instead)"
+                )
+            index[key] = len(order)
+            order.append(key)
+            queue.append(key)
+    return np.asarray(order, dtype=np.int64), index

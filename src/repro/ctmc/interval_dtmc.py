@@ -1,0 +1,210 @@
+"""Discrete-time Markov chains with interval probabilities (Škulj [10]).
+
+The paper's imprecise CTMCs build on Škulj's *interval DTMCs*: chains
+whose row distributions are only known to lie in per-entry intervals
+``lower[i, j] <= P[i, j] <= upper[i, j]``.  The object of interest is the
+**upper (lower) expectation** of a reward after ``k`` steps:
+
+.. math::
+    \\overline E_k(r) = \\overline T^k r, \\qquad
+    (\\overline T r)_i = \\max \\{ p \\cdot r : p \\in \\mathcal P_i \\}
+
+where ``P_i`` is the credal set of row ``i`` (the interval polytope
+intersected with the simplex).  The row maximisation is a fractional
+knapsack: fill coordinates in decreasing reward order up to their upper
+bounds, starting from the mandatory lower bounds.  The operator is
+applied iteratively; it is monotone and contracting on reward ranges,
+which is what makes the iteration a sound finite-horizon bound.
+
+:meth:`IntervalDTMC.from_imprecise_ctmc` discretises an imprecise CTMC
+through uniformization: ``P(theta) = I + Q(theta) / Lambda``, with the
+per-entry interval taken over the corners of ``Theta`` (exact per entry
+for affine generators).  The entry-wise relaxation forgets the coupling
+between entries induced by the shared ``theta``, so the resulting bounds
+are conservative with respect to the exact imprecise-CTMC bounds of
+:mod:`repro.ctmc.kolmogorov` — a relationship the test-suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["IntervalDTMC"]
+
+
+class IntervalDTMC:
+    """A finite DTMC with interval transition probabilities.
+
+    Parameters
+    ----------
+    lower, upper:
+        Entry-wise probability bounds, shape ``(n, n)``, with
+        ``0 <= lower <= upper <= 1``, ``sum(lower[i]) <= 1`` and
+        ``sum(upper[i]) >= 1`` for every row (non-empty credal sets).
+    """
+
+    def __init__(self, lower, upper):
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        if lower.ndim != 2 or lower.shape[0] != lower.shape[1]:
+            raise ValueError("lower must be a square matrix")
+        if lower.shape != upper.shape:
+            raise ValueError("lower and upper must have the same shape")
+        if np.any(lower < -1e-12) or np.any(upper > 1.0 + 1e-12):
+            raise ValueError("probability bounds must lie in [0, 1]")
+        if np.any(lower > upper + 1e-12):
+            raise ValueError("lower bounds exceed upper bounds")
+        row_lo = lower.sum(axis=1)
+        row_hi = upper.sum(axis=1)
+        if np.any(row_lo > 1.0 + 1e-9) or np.any(row_hi < 1.0 - 1e-9):
+            raise ValueError(
+                "empty credal set: need sum(lower) <= 1 <= sum(upper) per row"
+            )
+        self.lower = np.clip(lower, 0.0, 1.0)
+        self.upper = np.clip(upper, 0.0, 1.0)
+
+    @property
+    def n_states(self) -> int:
+        return self.lower.shape[0]
+
+    # ------------------------------------------------------------------
+    # Row credal-set optimisation (fractional knapsack)
+    # ------------------------------------------------------------------
+
+    def extreme_row(self, row: int, reward, maximize: bool = True) -> np.ndarray:
+        """The row distribution extremising ``p . reward`` over the credal set.
+
+        Start from the mandatory lower bounds and distribute the
+        remaining mass ``1 - sum(lower)`` greedily to the coordinates
+        with the largest (smallest) reward, capped at the upper bounds.
+        """
+        reward = np.asarray(reward, dtype=float)
+        if reward.shape != (self.n_states,):
+            raise ValueError(f"reward must have shape ({self.n_states},)")
+        p = self.lower[row].copy()
+        slack = 1.0 - float(p.sum())
+        order = np.argsort(-reward if maximize else reward)
+        for j in order:
+            if slack <= 0.0:
+                break
+            room = self.upper[row, j] - p[j]
+            take = min(room, slack)
+            p[j] += take
+            slack -= take
+        if slack > 1e-9:
+            raise RuntimeError("credal set inconsistency: mass left over")
+        return p
+
+    def upper_operator(self, reward) -> np.ndarray:
+        """One application of the upper-expectation operator ``T̄ r``."""
+        reward = np.asarray(reward, dtype=float)
+        return np.array(
+            [
+                float(self.extreme_row(i, reward, maximize=True) @ reward)
+                for i in range(self.n_states)
+            ]
+        )
+
+    def lower_operator(self, reward) -> np.ndarray:
+        """One application of the lower-expectation operator."""
+        return -self.upper_operator(-np.asarray(reward, dtype=float))
+
+    # ------------------------------------------------------------------
+    # Finite-horizon expectations
+    # ------------------------------------------------------------------
+
+    def upper_expectation(self, reward, steps: int) -> np.ndarray:
+        """Upper expectation of ``reward`` after ``steps`` transitions.
+
+        Returns the per-starting-state vector ``T̄^k r``.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        value = np.asarray(reward, dtype=float).copy()
+        for _ in range(steps):
+            value = self.upper_operator(value)
+        return value
+
+    def lower_expectation(self, reward, steps: int) -> np.ndarray:
+        """Lower expectation of ``reward`` after ``steps`` transitions."""
+        return -self.upper_expectation(-np.asarray(reward, dtype=float), steps)
+
+    def expectation_bounds(self, reward, steps: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lower, upper)`` expectation vectors after ``steps`` steps."""
+        return (self.lower_expectation(reward, steps),
+                self.upper_expectation(reward, steps))
+
+    def stationary_expectation_bounds(
+        self, reward, tol: float = 1e-10, max_iter: int = 100_000,
+    ) -> Tuple[float, float]:
+        """Long-run bounds on the expected reward (Škulj's limit regime).
+
+        Iterates the upper (lower) expectation operator until the value
+        vector flattens to a constant: for a regular interval chain the
+        iteration ``T̄^k r`` converges to a constant vector whose value
+        is the worst-case (best-case) long-run expected reward over all
+        admissible transition selections.  Raises ``RuntimeError`` when
+        the iteration fails to flatten (periodic or reducible chains).
+        """
+        bounds = []
+        for maximize in (False, True):
+            value = np.asarray(reward, dtype=float).copy()
+            if maximize:
+                operator = self.upper_operator
+            else:
+                operator = self.lower_operator
+            for _ in range(max_iter):
+                new_value = operator(value)
+                spread = float(new_value.max() - new_value.min())
+                if spread < tol and float(
+                    np.max(np.abs(new_value - value))
+                ) < tol:
+                    break
+                value = new_value
+            else:
+                raise RuntimeError(
+                    "stationary iteration did not flatten within "
+                    f"{max_iter} steps (spread {spread:.2e}); the chain "
+                    "may be periodic or reducible"
+                )
+            bounds.append(float(new_value.mean()))
+        return bounds[0], bounds[1]
+
+    # ------------------------------------------------------------------
+    # Construction from imprecise CTMCs
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_imprecise_ctmc(cls, chain, uniformization_rate: Optional[float] = None,
+                            safety: float = 1.05) -> Tuple["IntervalDTMC", float]:
+        """Uniformize an imprecise CTMC into an interval DTMC.
+
+        ``P(theta) = I + Q(theta) / Lambda`` with ``Lambda`` at least the
+        largest total exit rate over the corner parameters (scaled by
+        ``safety``).  Entry intervals are taken over the corners of
+        ``Theta``, which is exact per entry for affine generators.
+
+        Returns ``(dtmc, Lambda)`` — one DTMC step corresponds to an
+        ``Exp(Lambda)`` holding time of the CTMC, so ``k`` steps
+        approximate horizon ``k / Lambda``.
+        """
+        corners = chain.model.theta_set.corners()
+        generators = [chain.generator(theta) for theta in corners]
+        if uniformization_rate is None:
+            max_exit = max(float(-q.diagonal().min()) for q in generators)
+            uniformization_rate = safety * max_exit
+        if uniformization_rate <= 0:
+            raise ValueError("uniformization rate must be positive")
+        identity = np.eye(chain.n_states)
+        matrices = [
+            identity + q.toarray() / uniformization_rate for q in generators
+        ]
+        stack = np.stack(matrices)
+        lower = np.clip(stack.min(axis=0), 0.0, 1.0)
+        upper = np.clip(stack.max(axis=0), 0.0, 1.0)
+        return cls(lower, upper), float(uniformization_rate)
+
+    def __repr__(self) -> str:
+        return f"IntervalDTMC({self.n_states} states)"

@@ -1,0 +1,97 @@
+"""Convex polygon clipping (Sutherland–Hodgman) and overlap metrics.
+
+Used to *compare* computed regions quantitatively: e.g. how much of the
+stationary hull rectangle of Figure 5 is wasted relative to the Birkhoff
+centre, or how two Birkhoff regions for different ``Theta`` widths nest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polygon import ConvexPolygon, polygon_area
+
+__all__ = ["clip_convex", "intersection_area", "overlap_metrics"]
+
+
+def clip_convex(subject, clip) -> np.ndarray:
+    """Intersection of two convex polygons (CCW vertex arrays).
+
+    Sutherland–Hodgman: clip the subject polygon successively against
+    every edge halfplane of the clip polygon.  Returns the vertex array
+    of the intersection (possibly empty, shape ``(0, 2)``).
+    """
+    subject = np.asarray(
+        subject.vertices if isinstance(subject, ConvexPolygon) else subject,
+        dtype=float,
+    )
+    clip = np.asarray(
+        clip.vertices if isinstance(clip, ConvexPolygon) else clip,
+        dtype=float,
+    )
+    if subject.shape[0] < 3 or clip.shape[0] < 3:
+        return np.empty((0, 2))
+    output = [tuple(v) for v in subject]
+    n = clip.shape[0]
+    for i in range(n):
+        a = clip[i]
+        b = clip[(i + 1) % n]
+        edge = b - a
+        if not output:
+            break
+        input_list = output
+        output = []
+
+        def inside(p):
+            # CCW clip polygon: interior is to the left of each edge.
+            return (edge[0] * (p[1] - a[1]) - edge[1] * (p[0] - a[0])) >= -1e-12
+
+        def intersect(p, q):
+            d1 = np.array(q) - np.array(p)
+            denom = edge[0] * d1[1] - edge[1] * d1[0]
+            if abs(denom) < 1e-15:
+                return tuple(q)
+            t = (edge[0] * (a[1] - p[1]) - edge[1] * (a[0] - p[0])) / denom
+            point = np.array(p) + np.clip(t, 0.0, 1.0) * d1
+            return tuple(point)
+
+        previous = input_list[-1]
+        for current in input_list:
+            if inside(current):
+                if not inside(previous):
+                    output.append(intersect(previous, current))
+                output.append(current)
+            elif inside(previous):
+                output.append(intersect(previous, current))
+            previous = current
+    return np.asarray(output, dtype=float) if output else np.empty((0, 2))
+
+
+def intersection_area(polygon_a, polygon_b) -> float:
+    """Area of the intersection of two convex polygons."""
+    clipped = clip_convex(polygon_a, polygon_b)
+    if clipped.shape[0] < 3:
+        return 0.0
+    return abs(polygon_area(clipped))
+
+
+def overlap_metrics(polygon_a, polygon_b) -> dict:
+    """Jaccard index and containment fractions of two convex regions.
+
+    Returns a dict with keys ``intersection``, ``jaccard``,
+    ``a_inside_b`` (fraction of A's area inside B) and ``b_inside_a``.
+    """
+    area_a = abs(polygon_area(
+        polygon_a.vertices if isinstance(polygon_a, ConvexPolygon) else polygon_a
+    ))
+    area_b = abs(polygon_area(
+        polygon_b.vertices if isinstance(polygon_b, ConvexPolygon) else polygon_b
+    ))
+    inter = intersection_area(polygon_a, polygon_b)
+    union = area_a + area_b - inter
+    return {
+        "intersection": inter,
+        "jaccard": inter / union if union > 0 else 1.0,
+        "a_inside_b": inter / area_a if area_a > 0 else 1.0,
+        "b_inside_a": inter / area_b if area_b > 0 else 1.0,
+    }

@@ -1,0 +1,29 @@
+"""Differential inclusions ``x' in F(x)`` and their solution machinery.
+
+The mean-field limit of an imprecise population process (Theorem 1) is a
+differential inclusion whose right-hand side is the *parametric* family
+``F(x) = {f(x, theta) : theta in Theta}``.  This package provides:
+
+- :class:`DriftExtremizer` — extremises linear functionals of the drift
+  over ``Theta`` (the primitive every numerical method reduces to), with
+  a closed-form bang-bang fast path for affine-in-theta models and a
+  corner/grid/refined fallback otherwise.
+- :class:`ParametricInclusion` — the inclusion object: support functions,
+  velocity envelopes, solutions under explicit parameter signals
+  (constant, piecewise-constant, or state-feedback selections).
+- :func:`euler_selection_solve` — a one-step-selection Euler scheme that
+  follows an arbitrary measurable selector, used to produce *witness*
+  solutions of the inclusion.
+"""
+
+from repro.inclusion.extremizers import DriftExtremizer
+from repro.inclusion.parametric import (
+    ParametricInclusion,
+    euler_selection_solve,
+)
+
+__all__ = [
+    "DriftExtremizer",
+    "ParametricInclusion",
+    "euler_selection_solve",
+]

@@ -1,0 +1,24 @@
+"""Mean-field limits of imprecise population processes (Section III).
+
+- :func:`mean_field_inclusion` — builds the limiting differential
+  inclusion of Theorem 1 for an imprecise model.
+- :func:`mean_field_ode` — the limiting ODE of Corollary 1 for a frozen
+  parameter (the classical Kurtz limit when ``Theta`` is a singleton).
+- :func:`verify_population_scaling` — numerically checks the three
+  conditions of Definition 4 (uniformizability, vanishing jumps, bounded
+  drift) on a sequence of instantiated population sizes, returning a
+  :class:`ScalingReport`.
+"""
+
+from repro.meanfield.accuracy import AccuracyStudy, mean_field_accuracy
+from repro.meanfield.limits import mean_field_inclusion, mean_field_ode
+from repro.meanfield.scaling import ScalingReport, verify_population_scaling
+
+__all__ = [
+    "mean_field_inclusion",
+    "mean_field_ode",
+    "verify_population_scaling",
+    "ScalingReport",
+    "mean_field_accuracy",
+    "AccuracyStudy",
+]

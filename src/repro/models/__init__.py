@@ -1,0 +1,44 @@
+"""The case-study models of the paper, plus extensions.
+
+- :mod:`repro.models.sir` — the SIR epidemic of Section V (3-state full
+  form and the 2-state reduction of Eq. 11), with the paper's parameters.
+- :mod:`repro.models.gps` — the closed generalised-processor-sharing
+  network of Section VI, in both the Poisson and the MAP (Markov arrival
+  process) variants.
+- :mod:`repro.models.bike` — the single-station bike-sharing model used
+  as the running example of Sections II–III.
+- :mod:`repro.models.seir` — a four-compartment epidemic extension
+  demonstrating that the machinery is not tied to the paper's examples.
+"""
+
+from repro.models.bike import make_bike_station_model
+from repro.models.gps import (
+    GPS_PAPER_PARAMS,
+    gps_initial_state_map,
+    gps_initial_state_poisson,
+    make_gps_map_model,
+    make_gps_poisson_model,
+    poisson_rate_from_map,
+)
+from repro.models.loadbalancing import make_power_of_d_model
+from repro.models.seir import make_seir_model
+from repro.models.sir import (
+    SIR_PAPER_PARAMS,
+    make_sir_full_model,
+    make_sir_model,
+)
+
+__all__ = [
+    "make_sir_model",
+    "make_sir_full_model",
+    "SIR_PAPER_PARAMS",
+    "make_gps_poisson_model",
+    "make_gps_map_model",
+    "gps_initial_state_poisson",
+    "gps_initial_state_map",
+    "poisson_rate_from_map",
+    "GPS_PAPER_PARAMS",
+    "make_bike_station_model",
+    "make_seir_model",
+    "make_power_of_d_model",
+]

@@ -1,0 +1,35 @@
+"""ODE integration substrate shared by every continuous-state method.
+
+The mean-field objects of the paper are solved with two integrator
+families:
+
+- a fixed-grid classical Runge–Kutta 4 integrator
+  (:func:`rk4_integrate`, :func:`rk4_integrate_controlled`), used by the
+  Pontryagin forward–backward sweep which needs the state, costate and
+  control to live on one shared time grid, and
+- an adaptive integrator (:func:`solve_ode`) wrapping
+  :func:`scipy.integrate.solve_ivp`, used where accuracy per cost matters
+  (uncertain sweeps, fixed-point location, differential hulls).
+
+Both produce :class:`Trajectory` objects with linear-interpolation
+evaluation, and :func:`find_fixed_point` locates equilibria by integrating
+to stationarity and polishing with a Newton solve.
+"""
+
+from repro.ode.integrators import (
+    Trajectory,
+    find_fixed_point,
+    rk4_integrate,
+    rk4_integrate_controlled,
+    rk4_step,
+    solve_ode,
+)
+
+__all__ = [
+    "Trajectory",
+    "rk4_step",
+    "rk4_integrate",
+    "rk4_integrate_controlled",
+    "solve_ode",
+    "find_fixed_point",
+]

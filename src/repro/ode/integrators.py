@@ -1,0 +1,233 @@
+"""Fixed-grid RK4 and adaptive ODE integrators, plus fixed-point location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+from scipy.integrate import solve_ivp
+from scipy.optimize import fsolve
+
+__all__ = [
+    "Trajectory",
+    "rk4_step",
+    "rk4_integrate",
+    "rk4_integrate_controlled",
+    "solve_ode",
+    "find_fixed_point",
+]
+
+
+@dataclass
+class Trajectory:
+    """A time-indexed solution of an ODE (or one solution of an inclusion).
+
+    Attributes
+    ----------
+    times:
+        Monotone 1-D array of time points, shape ``(n,)``.
+    states:
+        State at each time point, shape ``(n, d)``.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+
+    def __post_init__(self):
+        self.times = np.asarray(self.times, dtype=float)
+        self.states = np.asarray(self.states, dtype=float)
+        if self.states.ndim == 1:
+            self.states = self.states[:, None]
+        if self.times.ndim != 1:
+            raise ValueError("times must be 1-D")
+        if self.states.shape[0] != self.times.shape[0]:
+            raise ValueError(
+                f"states has {self.states.shape[0]} rows for "
+                f"{self.times.shape[0]} time points"
+            )
+
+    @property
+    def dim(self) -> int:
+        """State dimension."""
+        return self.states.shape[1]
+
+    @property
+    def t0(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def t_final(self) -> float:
+        return float(self.times[-1])
+
+    @property
+    def final_state(self) -> np.ndarray:
+        return self.states[-1].copy()
+
+    def __len__(self) -> int:
+        return self.times.shape[0]
+
+    def __call__(self, t) -> np.ndarray:
+        """Linear interpolation of the state at time(s) ``t``."""
+        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.empty((t_arr.shape[0], self.dim))
+        for j in range(self.dim):
+            out[:, j] = np.interp(t_arr, self.times, self.states[:, j])
+        if np.isscalar(t) or np.asarray(t).ndim == 0:
+            return out[0]
+        return out
+
+    def component(self, index: int) -> np.ndarray:
+        """The time series of one coordinate, shape ``(n,)``."""
+        return self.states[:, index].copy()
+
+    def restricted(self, t_start: float, t_end: float) -> "Trajectory":
+        """Sub-trajectory with ``t_start <= t <= t_end`` (inclusive)."""
+        mask = (self.times >= t_start) & (self.times <= t_end)
+        if not mask.any():
+            raise ValueError("no samples in the requested window")
+        return Trajectory(self.times[mask], self.states[mask])
+
+    def reversed_time(self) -> "Trajectory":
+        """Reverse the trajectory so times increase (for backward solves)."""
+        return Trajectory(self.times[::-1].copy(), self.states[::-1].copy())
+
+
+def rk4_step(f: Callable, t: float, x: np.ndarray, dt: float) -> np.ndarray:
+    """One classical Runge–Kutta 4 step for ``x' = f(t, x)``."""
+    k1 = f(t, x)
+    k2 = f(t + 0.5 * dt, x + 0.5 * dt * k1)
+    k3 = f(t + 0.5 * dt, x + 0.5 * dt * k2)
+    k4 = f(t + dt, x + dt * k3)
+    return x + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def _validate_grid(t_grid: np.ndarray) -> np.ndarray:
+    t_grid = np.asarray(t_grid, dtype=float)
+    if t_grid.ndim != 1 or t_grid.shape[0] < 2:
+        raise ValueError("t_grid must be a 1-D array with at least 2 points")
+    steps = np.diff(t_grid)
+    if not (np.all(steps > 0) or np.all(steps < 0)):
+        raise ValueError("t_grid must be strictly monotone")
+    return t_grid
+
+
+def rk4_integrate(f: Callable, x0, t_grid) -> Trajectory:
+    """Integrate ``x' = f(t, x)`` on a fixed grid with RK4.
+
+    The grid may be decreasing, in which case the integration runs
+    backward in time — this is how the Pontryagin costate equation is
+    solved.
+    """
+    t_grid = _validate_grid(t_grid)
+    x = np.asarray(x0, dtype=float).copy()
+    states = np.empty((t_grid.shape[0], x.shape[0]))
+    states[0] = x
+    for i in range(t_grid.shape[0] - 1):
+        dt = t_grid[i + 1] - t_grid[i]
+        x = rk4_step(f, t_grid[i], x, dt)
+        states[i + 1] = x
+    return Trajectory(t_grid.copy(), states)
+
+
+def rk4_integrate_controlled(
+    f: Callable, x0, t_grid, controls
+) -> Trajectory:
+    """Integrate ``x' = f(t, x, u)`` with a piecewise-constant control.
+
+    ``controls`` holds one control vector per grid *interval*
+    (shape ``(len(t_grid) - 1, m)`` or ``(len(t_grid) - 1,)``); the control
+    is held constant across each RK4 step, which matches the bang-bang
+    controls produced by the Pontryagin maximiser.
+    """
+    t_grid = _validate_grid(t_grid)
+    ctrl = np.asarray(controls, dtype=float)
+    if ctrl.ndim == 1:
+        ctrl = ctrl[:, None]
+    if ctrl.shape[0] != t_grid.shape[0] - 1:
+        raise ValueError(
+            f"need {t_grid.shape[0] - 1} control intervals, got {ctrl.shape[0]}"
+        )
+    x = np.asarray(x0, dtype=float).copy()
+    states = np.empty((t_grid.shape[0], x.shape[0]))
+    states[0] = x
+    for i in range(t_grid.shape[0] - 1):
+        dt = t_grid[i + 1] - t_grid[i]
+        u = ctrl[i]
+        x = rk4_step(lambda t, y: f(t, y, u), t_grid[i], x, dt)
+        states[i + 1] = x
+    return Trajectory(t_grid.copy(), states)
+
+
+def solve_ode(
+    f: Callable,
+    x0,
+    t_span,
+    t_eval=None,
+    rtol: float = 1e-8,
+    atol: float = 1e-10,
+    method: str = "RK45",
+    max_step: float = np.inf,
+) -> Trajectory:
+    """Adaptive integration of ``x' = f(t, x)`` via scipy ``solve_ivp``.
+
+    Returns a :class:`Trajectory` sampled at ``t_eval`` when given,
+    otherwise at the solver's own accepted steps.
+    """
+    x0 = np.asarray(x0, dtype=float)
+    sol = solve_ivp(
+        f,
+        tuple(t_span),
+        x0,
+        t_eval=None if t_eval is None else np.asarray(t_eval, dtype=float),
+        rtol=rtol,
+        atol=atol,
+        method=method,
+        max_step=max_step,
+    )
+    if not sol.success:
+        raise RuntimeError(f"ODE integration failed: {sol.message}")
+    return Trajectory(sol.t, sol.y.T)
+
+
+def find_fixed_point(
+    f: Callable,
+    x0,
+    settle_time: float = 200.0,
+    tol: float = 1e-10,
+    max_rounds: int = 6,
+    polish: bool = True,
+    jac: Optional[Callable] = None,
+) -> np.ndarray:
+    """Locate a stable equilibrium of ``x' = f(x)`` reachable from ``x0``.
+
+    Integrates for ``settle_time`` repeatedly until ``|f(x)|`` is below
+    ``tol`` (or ``max_rounds`` is exhausted), then optionally polishes the
+    result with a Newton solve of ``f(x) = 0``.  The drift ``f`` here takes
+    only the state (time-autonomous), matching the uncertain mean-field
+    ODEs ``x' = f(x, theta)`` for a frozen ``theta``.
+
+    Raises ``RuntimeError`` when no equilibrium is approached, which is the
+    signal used by callers to fall back to limit-cycle handling.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    wrapped = lambda t, y: f(y)  # noqa: E731 - tiny adapter
+    for _ in range(max_rounds):
+        traj = solve_ode(wrapped, x, (0.0, settle_time), rtol=1e-10, atol=1e-12)
+        x = traj.final_state
+        residual = float(np.linalg.norm(f(x)))
+        if residual < tol:
+            break
+    else:
+        if float(np.linalg.norm(f(x))) > 1e-5:
+            raise RuntimeError(
+                "no fixed point approached after "
+                f"{max_rounds * settle_time:.0f} time units "
+                f"(|f| = {np.linalg.norm(f(x)):.2e}); "
+                "the dynamics may have a limit cycle"
+            )
+    if polish:
+        solution, info, ier, _ = fsolve(f, x, fprime=jac, full_output=True)
+        if ier == 1 and np.linalg.norm(solution - x) < 0.1 * (1.0 + np.linalg.norm(x)):
+            x = solution
+    return x

@@ -1,0 +1,33 @@
+"""Parameter domains for imprecise and uncertain stochastic models.
+
+The paper (Bortolussi & Gast, DSN 2016) models uncertainty through a
+parameter vector ``theta`` constrained to a compact set ``Theta``.  This
+package provides the concrete representations of such sets:
+
+- :class:`Interval` — a closed interval ``[lo, hi]`` for a scalar parameter.
+- :class:`Box` — a product of named intervals (the common case; every model
+  in the paper uses a box).
+- :class:`DiscreteSet` — a finite list of admissible parameter vectors.
+- :class:`Singleton` — a degenerate set with one element (a *precise* model).
+
+All sets share the :class:`ParameterSet` interface: membership tests,
+projection onto the set, corner enumeration, uniform grids and random
+sampling.  The numerical methods in :mod:`repro.bounds` only interact with
+parameters through this interface, which is what makes them generic.
+"""
+
+from repro.params.sets import (
+    Box,
+    DiscreteSet,
+    Interval,
+    ParameterSet,
+    Singleton,
+)
+
+__all__ = [
+    "ParameterSet",
+    "Interval",
+    "Box",
+    "DiscreteSet",
+    "Singleton",
+]

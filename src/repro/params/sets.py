@@ -1,0 +1,304 @@
+"""Concrete parameter-set implementations.
+
+A parameter set ``Theta`` is the domain in which the imprecise parameter
+``theta(t)`` of an imprecise Markov chain is allowed to vary (Definition 1
+of the paper), or in which the unknown constant parameter of an uncertain
+chain lives (Definition 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ParameterSet", "Interval", "Box", "DiscreteSet", "Singleton"]
+
+
+def _as_vector(theta) -> np.ndarray:
+    """Coerce a scalar or sequence into a 1-D float array."""
+    arr = np.atleast_1d(np.asarray(theta, dtype=float))
+    if arr.ndim != 1:
+        raise ValueError(f"parameter must be a scalar or vector, got shape {arr.shape}")
+    return arr
+
+
+class ParameterSet:
+    """Abstract interface of a compact parameter domain ``Theta``.
+
+    Subclasses must provide :attr:`dim`, :meth:`contains`,
+    :meth:`project`, :meth:`corners`, :meth:`grid` and :meth:`sample`.
+    """
+
+    #: Names of the parameter coordinates (informational, used in reports).
+    names: Tuple[str, ...]
+
+    @property
+    def dim(self) -> int:
+        """Number of scalar parameters in the set."""
+        raise NotImplementedError
+
+    def contains(self, theta, tol: float = 1e-12) -> bool:
+        """Return ``True`` when ``theta`` belongs to the set (up to ``tol``)."""
+        raise NotImplementedError
+
+    def project(self, theta) -> np.ndarray:
+        """Return the closest point of the set to ``theta`` (Euclidean)."""
+        raise NotImplementedError
+
+    def corners(self) -> np.ndarray:
+        """Return the extreme points of the set, shape ``(n_corners, dim)``.
+
+        For a box these are the ``2**dim`` vertices.  Extremising an
+        affine-in-theta function over the set only requires the corners,
+        which is the fast path used throughout :mod:`repro.bounds`.
+        """
+        raise NotImplementedError
+
+    def grid(self, resolution: int) -> np.ndarray:
+        """Return a uniform grid over the set, shape ``(n_points, dim)``."""
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw ``n`` uniform samples from the set, shape ``(n, dim)``."""
+        raise NotImplementedError
+
+    def center(self) -> np.ndarray:
+        """Return a canonical interior point (the mean of the corners)."""
+        return np.mean(self.corners(), axis=0)
+
+    def __contains__(self, theta) -> bool:
+        return self.contains(theta)
+
+
+class Interval(ParameterSet):
+    """A closed interval ``[lower, upper]`` for a single scalar parameter.
+
+    This is the set used for the SIR contact rate ``theta`` in Section V
+    (``theta in [1, 10]``).
+
+    >>> theta = Interval(1.0, 10.0, name="contact_rate")
+    >>> theta.contains(5.0)
+    True
+    >>> theta.corners()
+    array([[ 1.],
+           [10.]])
+    """
+
+    def __init__(self, lower: float, upper: float, name: str = "theta"):
+        lower, upper = float(lower), float(upper)
+        if not np.isfinite(lower) or not np.isfinite(upper):
+            raise ValueError("interval bounds must be finite")
+        if lower > upper:
+            raise ValueError(f"lower bound {lower} exceeds upper bound {upper}")
+        self.lower = lower
+        self.upper = upper
+        self.names = (name,)
+
+    @property
+    def dim(self) -> int:
+        return 1
+
+    @property
+    def width(self) -> float:
+        """Length of the interval."""
+        return self.upper - self.lower
+
+    def contains(self, theta, tol: float = 1e-12) -> bool:
+        value = float(_as_vector(theta)[0])
+        return self.lower - tol <= value <= self.upper + tol
+
+    def project(self, theta) -> np.ndarray:
+        value = float(_as_vector(theta)[0])
+        return np.array([min(max(value, self.lower), self.upper)])
+
+    def corners(self) -> np.ndarray:
+        return np.array([[self.lower], [self.upper]])
+
+    def grid(self, resolution: int) -> np.ndarray:
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        if resolution == 1:
+            return np.array([[0.5 * (self.lower + self.upper)]])
+        return np.linspace(self.lower, self.upper, resolution)[:, None]
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        return rng.uniform(self.lower, self.upper, size=(n, 1))
+
+    def __repr__(self) -> str:
+        return f"Interval({self.lower}, {self.upper}, name={self.names[0]!r})"
+
+
+class Box(ParameterSet):
+    """A product of named intervals: the standard multi-parameter domain.
+
+    The GPS model of Section VI uses a 2-D box
+    ``[lambda1_min, lambda1_max] x [lambda2_min, lambda2_max]``.
+
+    >>> box = Box([("lam1", 1.0, 7.0), ("lam2", 2.0, 3.0)])
+    >>> box.dim
+    2
+    >>> box.corners().shape
+    (4, 2)
+    """
+
+    def __init__(self, intervals: Iterable):
+        lowers, uppers, names = [], [], []
+        for entry in intervals:
+            if isinstance(entry, Interval):
+                names.append(entry.names[0])
+                lowers.append(entry.lower)
+                uppers.append(entry.upper)
+            else:
+                name, lo, hi = entry
+                lo, hi = float(lo), float(hi)
+                if lo > hi:
+                    raise ValueError(f"parameter {name!r}: lower {lo} > upper {hi}")
+                names.append(str(name))
+                lowers.append(lo)
+                uppers.append(hi)
+        if not names:
+            raise ValueError("a Box needs at least one interval")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in {names}")
+        self.lowers = np.asarray(lowers, dtype=float)
+        self.uppers = np.asarray(uppers, dtype=float)
+        if not (np.isfinite(self.lowers).all() and np.isfinite(self.uppers).all()):
+            raise ValueError("box bounds must be finite")
+        self.names = tuple(names)
+
+    @classmethod
+    def from_bounds(cls, lowers: Sequence[float], uppers: Sequence[float],
+                    names: Optional[Sequence[str]] = None) -> "Box":
+        """Build a box from parallel lower/upper bound vectors."""
+        lowers = list(lowers)
+        uppers = list(uppers)
+        if len(lowers) != len(uppers):
+            raise ValueError("lowers and uppers must have the same length")
+        if names is None:
+            names = [f"theta{i}" for i in range(len(lowers))]
+        return cls(zip(names, lowers, uppers))
+
+    @property
+    def dim(self) -> int:
+        return len(self.names)
+
+    def interval(self, index_or_name) -> Interval:
+        """Return one coordinate of the box as an :class:`Interval`."""
+        if isinstance(index_or_name, str):
+            index = self.names.index(index_or_name)
+        else:
+            index = int(index_or_name)
+        return Interval(self.lowers[index], self.uppers[index], name=self.names[index])
+
+    def contains(self, theta, tol: float = 1e-12) -> bool:
+        vec = _as_vector(theta)
+        if vec.shape[0] != self.dim:
+            return False
+        return bool(
+            np.all(vec >= self.lowers - tol) and np.all(vec <= self.uppers + tol)
+        )
+
+    def project(self, theta) -> np.ndarray:
+        vec = _as_vector(theta)
+        if vec.shape[0] != self.dim:
+            raise ValueError(f"expected {self.dim} parameters, got {vec.shape[0]}")
+        return np.clip(vec, self.lowers, self.uppers)
+
+    def corners(self) -> np.ndarray:
+        choices = [(lo, hi) for lo, hi in zip(self.lowers, self.uppers)]
+        return np.array(list(itertools.product(*choices)))
+
+    def grid(self, resolution: int) -> np.ndarray:
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        axes = []
+        for lo, hi in zip(self.lowers, self.uppers):
+            if resolution == 1:
+                axes.append(np.array([0.5 * (lo + hi)]))
+            else:
+                axes.append(np.linspace(lo, hi, resolution))
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=-1)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        return rng.uniform(self.lowers, self.uppers, size=(n, self.dim))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}=[{lo}, {hi}]"
+            for name, lo, hi in zip(self.names, self.lowers, self.uppers)
+        )
+        return f"Box({parts})"
+
+
+class DiscreteSet(ParameterSet):
+    """A finite set of admissible parameter vectors.
+
+    Useful when the environment can only switch between a handful of known
+    regimes (e.g. "sunny"/"rainy" infection rates in the cholera example of
+    the introduction).
+    """
+
+    def __init__(self, values, names: Optional[Sequence[str]] = None):
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError("values must be a non-empty (n, dim) array")
+        self.values = arr
+        if names is None:
+            names = [f"theta{i}" for i in range(arr.shape[1])]
+        if len(names) != arr.shape[1]:
+            raise ValueError("one name per parameter coordinate is required")
+        self.names = tuple(names)
+
+    @property
+    def dim(self) -> int:
+        return self.values.shape[1]
+
+    def contains(self, theta, tol: float = 1e-12) -> bool:
+        vec = _as_vector(theta)
+        if vec.shape[0] != self.dim:
+            return False
+        return bool(np.any(np.all(np.abs(self.values - vec) <= tol, axis=1)))
+
+    def project(self, theta) -> np.ndarray:
+        vec = _as_vector(theta)
+        dists = np.linalg.norm(self.values - vec, axis=1)
+        return self.values[int(np.argmin(dists))].copy()
+
+    def corners(self) -> np.ndarray:
+        return self.values.copy()
+
+    def grid(self, resolution: int) -> np.ndarray:
+        return self.values.copy()
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        idx = rng.integers(0, self.values.shape[0], size=n)
+        return self.values[idx].copy()
+
+    def __repr__(self) -> str:
+        return f"DiscreteSet({self.values.shape[0]} points, dim={self.dim})"
+
+
+class Singleton(DiscreteSet):
+    """A one-element parameter set: the model degenerates to a precise CTMC.
+
+    With a singleton Theta the mean-field inclusion collapses to the
+    classical mean-field ODE of Kurtz, which is the consistency check used
+    in several tests (`Theta = {theta}` makes Theorem 1 reduce to [17]).
+    """
+
+    def __init__(self, value, names: Optional[Sequence[str]] = None):
+        vec = _as_vector(value)
+        super().__init__(vec[None, :], names=names)
+
+    @property
+    def value(self) -> np.ndarray:
+        """The single admissible parameter vector."""
+        return self.values[0].copy()
+
+    def __repr__(self) -> str:
+        return f"Singleton({self.values[0]!r})"

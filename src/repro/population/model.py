@@ -1,0 +1,270 @@
+"""The :class:`PopulationModel` definition object.
+
+A population model is the *specification* of an imprecise population
+process: a list of transition classes plus the parameter domain ``Theta``.
+From it everything else in the library is derived — the imprecise drift
+(Definition 3), the mean-field differential inclusion (Theorem 1), the
+finite-``N`` CTMCs used for simulation (Definition 4), and the analytic
+structure (affine decomposition, Jacobians) exploited by the bound
+computations of Section IV.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.params import ParameterSet, Singleton
+from repro.population.calculus import numeric_jacobian
+from repro.population.transitions import Transition
+
+__all__ = ["PopulationModel"]
+
+
+class PopulationModel:
+    """An imprecise population process specified by transition classes.
+
+    Parameters
+    ----------
+    name:
+        Model identifier used in reports.
+    state_names:
+        Names of the normalised state coordinates, e.g. ``("S", "I")``.
+    transitions:
+        The event classes; each must have ``change`` of length
+        ``len(state_names)``.
+    theta_set:
+        The parameter domain ``Theta``.  A :class:`~repro.params.Singleton`
+        makes the model a *precise* population process.
+    affine_drift:
+        Optional callable ``x -> (g0, G)`` with ``g0`` of shape ``(d,)``
+        and ``G`` of shape ``(d, p)`` such that
+        ``drift(x, theta) = g0 + G @ theta`` for every ``theta``.  All
+        three paper models are affine in ``theta``; declaring the
+        decomposition unlocks closed-form extremisation (bang-bang
+        Hamiltonian maximisers, corner-based hulls).
+    drift_jacobian:
+        Optional analytic Jacobian ``(x, theta) -> (d, d)`` of the drift
+        in ``x``; finite differences are used when absent.
+    state_bounds:
+        Optional ``(lower, upper)`` vectors bounding the admissible
+        normalised state space (e.g. ``([0, 0], [1, 1])``); used by the
+        differential-hull extremiser and by state clipping.
+    conservations:
+        Optional list of ``(weights, value)`` pairs declaring linear
+        invariants ``weights @ x == value`` (e.g. ``S + I + R == 1``);
+        checked by the simulator and by the test-suites.
+    observables:
+        Optional mapping ``name -> weights`` declaring named linear
+        observables ``weights @ x`` (e.g. the per-class queue fraction of
+        the GPS model, which is a rescaling of the raw state).  Observables
+        are what benchmark harnesses report and what the linear-template
+        Pontryagin bounds target.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        state_names: Sequence[str],
+        transitions: Sequence[Transition],
+        theta_set: ParameterSet,
+        affine_drift: Optional[Callable] = None,
+        drift_jacobian: Optional[Callable] = None,
+        state_bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+        conservations: Optional[List[Tuple[Sequence[float], float]]] = None,
+        observables: Optional[dict] = None,
+    ):
+        if not name:
+            raise ValueError("model needs a non-empty name")
+        if not state_names:
+            raise ValueError("model needs at least one state coordinate")
+        if not transitions:
+            raise ValueError("model needs at least one transition class")
+        self.name = str(name)
+        self.state_names = tuple(str(s) for s in state_names)
+        self.transitions = list(transitions)
+        for tr in self.transitions:
+            if tr.dim != self.dim:
+                raise ValueError(
+                    f"transition {tr.name!r} has dimension {tr.dim}, "
+                    f"model has {self.dim} states"
+                )
+        if not isinstance(theta_set, ParameterSet):
+            raise TypeError("theta_set must be a ParameterSet")
+        self.theta_set = theta_set
+        self._affine_drift = affine_drift
+        self._drift_jacobian = drift_jacobian
+        if state_bounds is not None:
+            lower, upper = state_bounds
+            self.state_lower = np.asarray(lower, dtype=float)
+            self.state_upper = np.asarray(upper, dtype=float)
+            if self.state_lower.shape != (self.dim,) or self.state_upper.shape != (self.dim,):
+                raise ValueError("state_bounds must be two vectors of state dimension")
+            if np.any(self.state_lower > self.state_upper):
+                raise ValueError("state lower bounds exceed upper bounds")
+        else:
+            self.state_lower = None
+            self.state_upper = None
+        self.conservations = []
+        for weights, value in (conservations or []):
+            w = np.asarray(weights, dtype=float)
+            if w.shape != (self.dim,):
+                raise ValueError("conservation weights must match state dimension")
+            self.conservations.append((w, float(value)))
+        self.observables = {}
+        for obs_name, weights in (observables or {}).items():
+            w = np.asarray(weights, dtype=float)
+            if w.shape != (self.dim,):
+                raise ValueError(
+                    f"observable {obs_name!r} weights must match state dimension"
+                )
+            self.observables[str(obs_name)] = w
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the normalised state space."""
+        return len(self.state_names)
+
+    @property
+    def theta_dim(self) -> int:
+        """Dimension of the parameter vector."""
+        return self.theta_set.dim
+
+    @property
+    def is_affine(self) -> bool:
+        """Whether the model declares an affine-in-theta drift."""
+        return self._affine_drift is not None
+
+    @property
+    def is_precise(self) -> bool:
+        """Whether ``Theta`` is a singleton (a classical precise model)."""
+        return isinstance(self.theta_set, Singleton)
+
+    def state_index(self, name: str) -> int:
+        """Index of a state coordinate by name."""
+        return self.state_names.index(name)
+
+    # ------------------------------------------------------------------
+    # Drift (Definition 3 / Eq. 3) and derived analytic structure
+    # ------------------------------------------------------------------
+
+    def transition_rates(self, x, theta) -> np.ndarray:
+        """Vector of density-scaled rates of all transitions at ``(x, theta)``."""
+        x = np.asarray(x, dtype=float)
+        theta = np.asarray(theta, dtype=float)
+        return np.array([tr.rate_at(x, theta) for tr in self.transitions])
+
+    def total_exit_rate(self, x, theta) -> float:
+        """Sum of all density-scaled transition rates (the SSA race total)."""
+        return float(np.sum(self.transition_rates(x, theta)))
+
+    def drift(self, x, theta) -> np.ndarray:
+        """The imprecise drift ``f(x, theta) = sum_e change_e * rate_e``.
+
+        This is Equation (3) of the paper specialised to transition-class
+        models.  Note the drift uses the *raw* (unclamped) rates so it is
+        smooth across the state-space boundary, which the mean-field
+        integrators rely on.
+        """
+        x = np.asarray(x, dtype=float)
+        theta = np.asarray(theta, dtype=float)
+        out = np.zeros(self.dim)
+        for tr in self.transitions:
+            out += tr.change * float(tr.rate(x, theta))
+        return out
+
+    def drift_fn(self, theta) -> Callable:
+        """Freeze ``theta`` and return the autonomous drift ``x -> f(x, theta)``."""
+        theta = np.asarray(theta, dtype=float)
+        return lambda x: self.drift(x, theta)
+
+    def vector_field(self, theta) -> Callable:
+        """Freeze ``theta`` and return ``(t, x) -> f(x, theta)`` for integrators."""
+        theta = np.asarray(theta, dtype=float)
+        return lambda t, x: self.drift(x, theta)
+
+    def affine_parts(self, x) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(g0, G)`` with ``drift(x, theta) = g0 + G @ theta``.
+
+        Raises ``ValueError`` for models without a declared decomposition;
+        callers needing genericity should branch on :attr:`is_affine`.
+        """
+        if self._affine_drift is None:
+            raise ValueError(f"model {self.name!r} declares no affine decomposition")
+        g0, big_g = self._affine_drift(np.asarray(x, dtype=float))
+        g0 = np.asarray(g0, dtype=float)
+        big_g = np.asarray(big_g, dtype=float)
+        if g0.shape != (self.dim,):
+            raise ValueError(f"affine g0 has shape {g0.shape}, expected ({self.dim},)")
+        if big_g.shape != (self.dim, self.theta_dim):
+            raise ValueError(
+                f"affine G has shape {big_g.shape}, expected ({self.dim}, {self.theta_dim})"
+            )
+        return g0, big_g
+
+    def jacobian_x(self, x, theta) -> np.ndarray:
+        """Jacobian of the drift in ``x`` (analytic when declared)."""
+        x = np.asarray(x, dtype=float)
+        theta = np.asarray(theta, dtype=float)
+        if self._drift_jacobian is not None:
+            jac = np.asarray(self._drift_jacobian(x, theta), dtype=float)
+            if jac.shape != (self.dim, self.dim):
+                raise ValueError(
+                    f"declared Jacobian has shape {jac.shape}, "
+                    f"expected ({self.dim}, {self.dim})"
+                )
+            return jac
+        return numeric_jacobian(lambda y: self.drift(y, theta), x)
+
+    # ------------------------------------------------------------------
+    # State-space housekeeping
+    # ------------------------------------------------------------------
+
+    def clip_state(self, x) -> np.ndarray:
+        """Clip a state to the declared bounds (identity when unbounded)."""
+        x = np.asarray(x, dtype=float)
+        if self.state_lower is None:
+            return x.copy()
+        return np.clip(x, self.state_lower, self.state_upper)
+
+    def observable(self, name: str, x) -> float:
+        """Evaluate a named linear observable at state ``x``."""
+        if name not in self.observables:
+            raise KeyError(
+                f"model {self.name!r} has no observable {name!r}; "
+                f"available: {sorted(self.observables)}"
+            )
+        return float(self.observables[name] @ np.asarray(x, dtype=float))
+
+    def check_conservations(self, x, tol: float = 1e-9) -> bool:
+        """Whether all declared linear invariants hold at ``x``."""
+        x = np.asarray(x, dtype=float)
+        return all(
+            abs(float(w @ x) - value) <= tol for w, value in self.conservations
+        )
+
+    # ------------------------------------------------------------------
+    # Finite-N instantiation
+    # ------------------------------------------------------------------
+
+    def instantiate(self, population_size: int, initial_density):
+        """Build the finite-``N`` CTMC of Definition 4 at this size.
+
+        ``initial_density`` is the normalised initial state; it is rounded
+        to the nearest lattice point ``k / N``.
+        """
+        from repro.population.finite import FinitePopulation
+
+        return FinitePopulation(self, population_size, initial_density)
+
+    def __repr__(self) -> str:
+        kind = "uncertain/imprecise" if not self.is_precise else "precise"
+        return (
+            f"PopulationModel({self.name!r}, states={list(self.state_names)}, "
+            f"{len(self.transitions)} transitions, {kind})"
+        )

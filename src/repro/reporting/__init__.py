@@ -1,0 +1,26 @@
+"""Result containers and plain-text rendering for the benchmark harness.
+
+The paper's evaluation is figures; this library regenerates the
+underlying numeric series and prints them.  The reporting layer keeps
+that uniform:
+
+- :class:`Series` — one named curve (times + values).
+- :class:`ExperimentResult` — a figure/table reproduction: id, title,
+  parameter record, series, scalar findings and free-text notes.
+- :func:`render_table` / :func:`render_series_table` — fixed-width ASCII
+  rendering used by the benches and examples.
+"""
+
+from repro.reporting.results import (
+    ExperimentResult,
+    Series,
+    render_series_table,
+    render_table,
+)
+
+__all__ = [
+    "Series",
+    "ExperimentResult",
+    "render_table",
+    "render_series_table",
+]

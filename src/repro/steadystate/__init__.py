@@ -1,0 +1,32 @@
+"""Steady-state analysis of the mean-field inclusion (Theorems 2–3).
+
+The stationary measures of an imprecise population process concentrate,
+as ``N`` grows, on the Birkhoff centre of the mean-field differential
+inclusion (Theorem 3).  This package computes:
+
+- :func:`birkhoff_centre_2d` — the paper's Section V-C region-growing
+  construction for two-dimensional systems: seed a region with
+  extreme-parameter trajectories between the corner fixed points, then
+  grow it until the imprecise drift points inward everywhere on the
+  boundary (an invariance certificate).
+- :func:`uncertain_fixed_points` — the curve of equilibria of the
+  uncertain (constant-parameter) models, the red curves of Figs. 3 and 5.
+- :func:`hull_steady_rectangle` — the stationary rectangle of the
+  differential-hull over-approximation, the dashed boxes of Fig. 5.
+"""
+
+from repro.steadystate.birkhoff import (
+    BirkhoffResult,
+    birkhoff_centre_2d,
+    uncertain_fixed_points,
+)
+from repro.steadystate.asymptotic import asymptotic_reachable_hull
+from repro.steadystate.hullbox import hull_steady_rectangle
+
+__all__ = [
+    "birkhoff_centre_2d",
+    "BirkhoffResult",
+    "uncertain_fixed_points",
+    "hull_steady_rectangle",
+    "asymptotic_reachable_hull",
+]

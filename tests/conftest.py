@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    make_bike_station_model,
+    make_gps_map_model,
+    make_gps_poisson_model,
+    make_seir_model,
+    make_sir_full_model,
+    make_sir_model,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sir_model():
+    """The paper's SIR model with the Section V parameters."""
+    return make_sir_model()
+
+
+@pytest.fixture
+def sir_narrow():
+    """SIR with a narrow parameter interval (fast/tight bounds)."""
+    return make_sir_model(theta_max=2.0)
+
+
+@pytest.fixture
+def sir_full():
+    return make_sir_full_model()
+
+
+@pytest.fixture
+def gps_poisson():
+    return make_gps_poisson_model()
+
+
+@pytest.fixture
+def gps_map():
+    return make_gps_map_model()
+
+
+@pytest.fixture
+def bike_model():
+    return make_bike_station_model()
+
+
+@pytest.fixture
+def seir_model():
+    return make_seir_model()
+
+
+@pytest.fixture
+def sir_x0():
+    return np.array([0.7, 0.3])

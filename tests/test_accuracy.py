@@ -1,0 +1,51 @@
+"""Tests for the empirical mean-field accuracy study."""
+
+import numpy as np
+import pytest
+
+from repro.meanfield import mean_field_accuracy
+from repro.models import make_sir_model
+
+
+@pytest.fixture(scope="module")
+def sir_accuracy():
+    return mean_field_accuracy(
+        make_sir_model(), [5.0], [0.7, 0.3], 2.0,
+        sizes=(100, 400, 1600), n_replications=6, seed=1,
+    )
+
+
+class TestAccuracyStudy:
+    def test_deviation_decreases_with_n(self, sir_accuracy):
+        devs = sir_accuracy.mean_deviation
+        assert devs[0] > devs[1] > devs[2]
+
+    def test_rate_near_minus_half(self, sir_accuracy):
+        """The Kurtz O(1/sqrt(N)) regime (wide band: few replications)."""
+        rate = sir_accuracy.fitted_rate()
+        assert -0.75 < rate < -0.25
+
+    def test_deviation_constant_positive(self, sir_accuracy):
+        assert sir_accuracy.deviation_constant() > 0.0
+
+    def test_max_at_least_mean(self, sir_accuracy):
+        for mean, peak in zip(sir_accuracy.mean_deviation,
+                              sir_accuracy.max_deviation):
+            assert peak >= mean - 1e-12
+
+    def test_custom_reference(self):
+        """A deliberately wrong reference produces O(1) deviations."""
+        study = mean_field_accuracy(
+            make_sir_model(), [5.0], [0.7, 0.3], 1.0,
+            sizes=(100, 400), n_replications=2, seed=0,
+            reference=lambda t: np.array([0.0, 0.0]),
+        )
+        assert min(study.mean_deviation) > 0.3
+
+    def test_validation(self):
+        model = make_sir_model()
+        with pytest.raises(ValueError):
+            mean_field_accuracy(model, [5.0], [0.7, 0.3], 1.0, sizes=(100,))
+        with pytest.raises(ValueError):
+            mean_field_accuracy(model, [5.0], [0.7, 0.3], 1.0,
+                                sizes=(100, 200), n_replications=0)

@@ -1,0 +1,213 @@
+"""Tests for the exact finite-CTMC substrate (repro.ctmc)."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import (
+    ImpreciseCTMC,
+    KolmogorovSystem,
+    enumerate_lattice,
+    imprecise_reward_bounds,
+    uncertain_reward_envelope,
+)
+from repro.models import make_bike_station_model, make_sir_full_model
+from repro.params import Interval
+from repro.population import PopulationModel, Transition
+
+
+@pytest.fixture(scope="module")
+def bike_chain():
+    model = make_bike_station_model()
+    return ImpreciseCTMC(model.instantiate(10, [0.5]))
+
+
+class TestEnumeration:
+    def test_bike_lattice_full_line(self):
+        model = make_bike_station_model()
+        pop = model.instantiate(10, [0.5])
+        states, index = enumerate_lattice(pop)
+        assert states.shape == (11, 1)
+        assert index[(5,)] == 0  # initial state first
+        assert set(index) == {(k,) for k in range(11)}
+
+    def test_sir_lattice_simplex(self):
+        model = make_sir_full_model()
+        pop = model.instantiate(6, [0.5, 0.5, 0.0])
+        states, _ = enumerate_lattice(pop)
+        # All (s, i, r) with s+i+r = 6: C(8, 2) = 28 states.
+        assert states.shape[0] == 28
+        assert np.all(states.sum(axis=1) == 6)
+
+    def test_max_states_enforced(self):
+        model = make_sir_full_model()
+        pop = model.instantiate(60, [0.5, 0.5, 0.0])
+        with pytest.raises(RuntimeError):
+            enumerate_lattice(pop, max_states=100)
+
+
+class TestGenerators:
+    def test_rows_sum_to_zero(self, bike_chain):
+        q = bike_chain.generator([1.0, 1.1]).toarray()
+        np.testing.assert_allclose(q.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_off_diagonals_nonnegative(self, bike_chain):
+        q = bike_chain.generator([0.9, 1.1]).toarray()
+        off = q - np.diag(np.diag(q))
+        assert np.all(off >= 0)
+
+    def test_birth_death_structure(self, bike_chain):
+        q = bike_chain.generator([0.8, 0.9]).toarray()
+        n = q.shape[0]
+        for i in range(n):
+            for j in range(n):
+                counts_i = bike_chain.states[i, 0]
+                counts_j = bike_chain.states[j, 0]
+                if abs(counts_i - counts_j) > 1:
+                    assert q[i, j] == 0.0
+
+    def test_affine_parts_verified(self, bike_chain):
+        q0, parts = bike_chain.affine_generator_parts()
+        assert len(parts) == 2
+        theta = np.array([1.0, 0.95])
+        reconstructed = q0 + parts[0] * theta[0] + parts[1] * theta[1]
+        direct = bike_chain.generator(theta)
+        assert abs(reconstructed - direct).max() < 1e-10
+
+    def test_nonaffine_rates_detected(self):
+        tr_up = Transition("up", [1.0], lambda x, th: th[0] ** 2 * (1 - x[0]))
+        tr_down = Transition("down", [-1.0], lambda x, th: x[0])
+        model = PopulationModel("sq", ("x",), [tr_up, tr_down],
+                                Interval(0.5, 2.0))
+        chain = ImpreciseCTMC(model.instantiate(5, [0.4]))
+        with pytest.raises(ValueError):
+            chain.affine_generator_parts()
+
+
+class TestTransient:
+    def test_distribution_normalised(self, bike_chain):
+        p = bike_chain.transient_distribution([1.0, 1.0], 2.0)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(p >= -1e-12)
+
+    def test_t_zero_identity(self, bike_chain):
+        p = bike_chain.transient_distribution([1.0, 1.0], 0.0)
+        np.testing.assert_allclose(p, bike_chain.initial_distribution)
+
+    def test_uniformization_matches_expm(self, bike_chain):
+        for t in (0.5, 2.0, 5.0):
+            a = bike_chain.transient_distribution([1.0, 0.9], t, method="expm")
+            b = bike_chain.transient_distribution([1.0, 0.9], t,
+                                                  method="uniformization")
+            np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_unknown_method_rejected(self, bike_chain):
+        with pytest.raises(ValueError):
+            bike_chain.transient_distribution([1.0, 1.0], 1.0, method="magic")
+
+    def test_invalid_p0_rejected(self, bike_chain):
+        bad = np.ones(bike_chain.n_states)
+        with pytest.raises(ValueError):
+            bike_chain.transient_distribution([1.0, 1.0], 1.0, p0=bad)
+
+    def test_negative_time_rejected(self, bike_chain):
+        with pytest.raises(ValueError):
+            bike_chain.transient_distribution([1.0, 1.0], -1.0)
+
+
+class TestStationary:
+    def test_balanced_birth_death_uniform(self, bike_chain):
+        # Equal arrival/return rates -> uniform stationary distribution.
+        pi = bike_chain.stationary_distribution([1.0, 1.0])
+        np.testing.assert_allclose(pi, np.full(11, 1.0 / 11.0), atol=1e-9)
+
+    def test_detailed_balance_geometric(self, bike_chain):
+        # Birth-death with ratio rho: pi_k proportional to rho^k.
+        theta = [1.0, 0.5]  # departures at 1, returns at 0.5 -> rho = 0.5
+        pi = bike_chain.stationary_distribution(theta)
+        # Order pi by state count.
+        order = np.argsort(bike_chain.states[:, 0])
+        ordered = pi[order]
+        ratios = ordered[1:] / ordered[:-1]
+        np.testing.assert_allclose(ratios, 0.5, atol=1e-6)
+
+    def test_transient_converges_to_stationary(self, bike_chain):
+        theta = [0.8, 1.0]
+        pi = bike_chain.stationary_distribution(theta)
+        p = bike_chain.transient_distribution(theta, 200.0)
+        np.testing.assert_allclose(p, pi, atol=1e-6)
+
+    def test_expected_observable(self, bike_chain):
+        pi = bike_chain.stationary_distribution([1.0, 1.0])
+        mean_occ = bike_chain.expected_observable(pi, [1.0])
+        assert mean_occ == pytest.approx(0.5, abs=1e-9)
+
+
+class TestKolmogorovSystem:
+    def test_adapter_interface(self, bike_chain):
+        system = KolmogorovSystem(bike_chain)
+        assert system.dim == 11
+        assert system.theta_dim == 2
+        assert system.is_affine
+
+    def test_drift_matches_master_equation(self, bike_chain):
+        system = KolmogorovSystem(bike_chain)
+        p = bike_chain.initial_distribution
+        theta = np.array([1.0, 0.9])
+        expected = bike_chain.generator(theta).T @ p
+        np.testing.assert_allclose(system.drift(p, theta), expected, atol=1e-12)
+
+    def test_affine_parts_match_drift(self, bike_chain, rng):
+        system = KolmogorovSystem(bike_chain)
+        p = rng.dirichlet(np.ones(11))
+        g0, big_g = system.affine_parts(p)
+        theta = np.array([0.95, 1.05])
+        np.testing.assert_allclose(
+            g0 + big_g @ theta, system.drift(p, theta), atol=1e-12
+        )
+
+    def test_jacobian_is_generator_transpose(self, bike_chain):
+        system = KolmogorovSystem(bike_chain)
+        theta = np.array([1.0, 1.0])
+        jac = system.jacobian_x(bike_chain.initial_distribution, theta)
+        np.testing.assert_allclose(
+            jac, bike_chain.generator(theta).T.toarray(), atol=1e-12
+        )
+
+    def test_probability_conserved_by_drift(self, bike_chain, rng):
+        system = KolmogorovSystem(bike_chain)
+        p = rng.dirichlet(np.ones(11))
+        drift = system.drift(p, [1.1, 0.9])
+        assert drift.sum() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestRewardBounds:
+    def test_imprecise_brackets_uncertain(self, bike_chain):
+        reward = (bike_chain.states[:, 0] == 0).astype(float)
+        res_max = imprecise_reward_bounds(bike_chain, reward, 3.0,
+                                          maximize=True, n_steps=100)
+        res_min = imprecise_reward_bounds(bike_chain, reward, 3.0,
+                                          maximize=False, n_steps=100)
+        _, lo, hi = uncertain_reward_envelope(
+            bike_chain, reward, np.linspace(0, 3, 4), resolution=5
+        )
+        assert res_min.value <= lo[-1] + 1e-6
+        assert res_max.value >= hi[-1] - 1e-6
+        assert 0.0 <= res_min.value <= res_max.value <= 1.0
+
+    def test_reward_shape_validated(self, bike_chain):
+        with pytest.raises(ValueError):
+            imprecise_reward_bounds(bike_chain, np.ones(3), 1.0)
+
+    def test_probability_reward_stays_in_unit_interval(self, bike_chain):
+        reward = (bike_chain.states[:, 0] >= 8).astype(float)
+        res = imprecise_reward_bounds(bike_chain, reward, 2.0,
+                                      maximize=True, n_steps=100)
+        assert -1e-6 <= res.value <= 1.0 + 1e-6
+
+    def test_uncertain_envelope_ordering(self, bike_chain):
+        reward = bike_chain.densities()[:, 0]  # mean occupancy
+        times, lo, hi = uncertain_reward_envelope(
+            bike_chain, reward, np.linspace(0, 2, 5), resolution=4
+        )
+        assert np.all(lo <= hi + 1e-12)
+        assert lo[0] == pytest.approx(hi[0])  # deterministic start

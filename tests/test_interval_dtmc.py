@@ -1,0 +1,157 @@
+"""Tests for interval-probability DTMCs (repro.ctmc.interval_dtmc)."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import ImpreciseCTMC, IntervalDTMC, imprecise_reward_bounds
+from repro.models import make_bike_station_model
+
+
+def two_state_dtmc(width=0.1):
+    """2-state chain with interval self-loop probabilities."""
+    lower = np.array([[0.7 - width, 0.3 - width],
+                      [0.4 - width, 0.6 - width]])
+    upper = np.array([[0.7 + width, 0.3 + width],
+                      [0.4 + width, 0.6 + width]])
+    return IntervalDTMC(lower, upper)
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalDTMC(np.zeros((2, 3)), np.ones((2, 3)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalDTMC(np.zeros((2, 2)), np.ones((3, 3)))
+
+    def test_bounds_order_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalDTMC(np.full((2, 2), 0.6), np.full((2, 2), 0.4))
+
+    def test_out_of_unit_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalDTMC(np.full((2, 2), -0.2), np.full((2, 2), 0.5))
+
+    def test_empty_credal_set_rejected(self):
+        # Row sums of upper bounds below 1: no distribution fits.
+        with pytest.raises(ValueError):
+            IntervalDTMC(np.zeros((2, 2)), np.full((2, 2), 0.3))
+
+    def test_precise_chain_accepted(self):
+        p = np.array([[0.5, 0.5], [0.2, 0.8]])
+        dtmc = IntervalDTMC(p, p)
+        np.testing.assert_allclose(dtmc.extreme_row(0, [1.0, 0.0]), p[0])
+
+
+class TestRowOptimisation:
+    def test_extreme_row_is_distribution(self):
+        dtmc = two_state_dtmc()
+        for row in range(2):
+            for reward in ([1.0, 0.0], [0.0, 1.0], [0.3, -0.7]):
+                p = dtmc.extreme_row(row, reward)
+                assert p.sum() == pytest.approx(1.0)
+                assert np.all(p >= dtmc.lower[row] - 1e-12)
+                assert np.all(p <= dtmc.upper[row] + 1e-12)
+
+    def test_extreme_row_maximises_over_samples(self, rng):
+        dtmc = two_state_dtmc()
+        reward = np.array([0.9, -0.4])
+        best = float(dtmc.extreme_row(0, reward) @ reward)
+        # Random admissible rows never beat the knapsack optimum.
+        for _ in range(200):
+            p = rng.uniform(dtmc.lower[0], dtmc.upper[0])
+            total = p.sum()
+            if not 0.999 <= total <= 1.001:
+                continue
+            p = p / total
+            if np.any(p < dtmc.lower[0] - 1e-9) or np.any(p > dtmc.upper[0] + 1e-9):
+                continue
+            assert p @ reward <= best + 1e-9
+
+    def test_reward_shape_validated(self):
+        with pytest.raises(ValueError):
+            two_state_dtmc().extreme_row(0, [1.0, 2.0, 3.0])
+
+
+class TestExpectations:
+    def test_zero_steps_identity(self):
+        dtmc = two_state_dtmc()
+        reward = np.array([1.0, 0.0])
+        np.testing.assert_allclose(dtmc.upper_expectation(reward, 0), reward)
+
+    def test_upper_dominates_lower(self):
+        dtmc = two_state_dtmc()
+        reward = np.array([1.0, -1.0])
+        for steps in (1, 3, 10):
+            lo, hi = dtmc.expectation_bounds(reward, steps)
+            assert np.all(lo <= hi + 1e-12)
+
+    def test_precise_chain_matches_matrix_power(self):
+        p = np.array([[0.5, 0.5], [0.2, 0.8]])
+        dtmc = IntervalDTMC(p, p)
+        reward = np.array([1.0, 0.0])
+        expected = np.linalg.matrix_power(p, 4) @ reward
+        np.testing.assert_allclose(dtmc.upper_expectation(reward, 4),
+                                   expected, atol=1e-12)
+        np.testing.assert_allclose(dtmc.lower_expectation(reward, 4),
+                                   expected, atol=1e-12)
+
+    def test_width_grows_with_interval_width(self):
+        reward = np.array([1.0, 0.0])
+        widths = []
+        for w in (0.02, 0.1):
+            dtmc = two_state_dtmc(width=w)
+            lo, hi = dtmc.expectation_bounds(reward, 5)
+            widths.append(float(np.max(hi - lo)))
+        assert widths[1] > widths[0]
+
+    def test_bounded_reward_stays_bounded(self):
+        dtmc = two_state_dtmc()
+        reward = np.array([1.0, 0.0])
+        hi = dtmc.upper_expectation(reward, 20)
+        lo = dtmc.lower_expectation(reward, 20)
+        assert np.all(hi <= 1.0 + 1e-9)
+        assert np.all(lo >= -1e-9)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            two_state_dtmc().upper_expectation([1.0, 0.0], -1)
+
+
+class TestUniformization:
+    @pytest.fixture(scope="class")
+    def bike_chain(self):
+        model = make_bike_station_model()
+        return ImpreciseCTMC(model.instantiate(8, [0.5]))
+
+    def test_roundtrip_shapes(self, bike_chain):
+        dtmc, rate = IntervalDTMC.from_imprecise_ctmc(bike_chain)
+        assert dtmc.n_states == bike_chain.n_states
+        assert rate > 0
+
+    def test_rows_contain_corner_matrices(self, bike_chain):
+        dtmc, rate = IntervalDTMC.from_imprecise_ctmc(bike_chain)
+        for theta in bike_chain.model.theta_set.corners():
+            p = (np.eye(bike_chain.n_states)
+                 + bike_chain.generator(theta).toarray() / rate)
+            assert np.all(p >= dtmc.lower - 1e-12)
+            assert np.all(p <= dtmc.upper + 1e-12)
+
+    def test_conservative_vs_exact_kolmogorov(self, bike_chain):
+        """The entry-wise interval relaxation must bracket the exact
+        imprecise-CTMC bound (it forgets the theta coupling)."""
+        reward = (bike_chain.states[:, 0] == 0).astype(float)
+        horizon = 2.0
+        exact = imprecise_reward_bounds(bike_chain, reward, horizon,
+                                        maximize=True, n_steps=150)
+        dtmc, rate = IntervalDTMC.from_imprecise_ctmc(bike_chain)
+        steps = int(np.ceil(horizon * rate))
+        relaxed = dtmc.upper_expectation(reward, steps)
+        # Starting state is row 0 of the enumeration.
+        assert relaxed[0] >= exact.value - 5e-3
+
+    def test_invalid_rate_rejected(self, bike_chain):
+        with pytest.raises(ValueError):
+            IntervalDTMC.from_imprecise_ctmc(bike_chain,
+                                             uniformization_rate=-1.0)

@@ -1,0 +1,161 @@
+"""Unit tests for the ODE substrate (repro.ode)."""
+
+import numpy as np
+import pytest
+
+from repro.ode import (
+    Trajectory,
+    find_fixed_point,
+    rk4_integrate,
+    rk4_integrate_controlled,
+    rk4_step,
+    solve_ode,
+)
+
+
+class TestTrajectory:
+    def test_shapes_and_accessors(self):
+        traj = Trajectory(np.linspace(0, 1, 5), np.arange(10).reshape(5, 2))
+        assert traj.dim == 2
+        assert len(traj) == 5
+        assert traj.t0 == 0.0
+        assert traj.t_final == 1.0
+        np.testing.assert_allclose(traj.final_state, [8, 9])
+
+    def test_1d_states_promoted(self):
+        traj = Trajectory([0.0, 1.0], [1.0, 2.0])
+        assert traj.dim == 1
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([0.0, 1.0], np.zeros((3, 2)))
+
+    def test_interpolation_scalar_and_array(self):
+        traj = Trajectory([0.0, 1.0], [[0.0, 0.0], [2.0, 4.0]])
+        np.testing.assert_allclose(traj(0.5), [1.0, 2.0])
+        out = traj([0.25, 0.75])
+        assert out.shape == (2, 2)
+        np.testing.assert_allclose(out[0], [0.5, 1.0])
+
+    def test_component(self):
+        traj = Trajectory([0.0, 1.0], [[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(traj.component(1), [2.0, 4.0])
+
+    def test_restricted(self):
+        traj = Trajectory(np.linspace(0, 1, 11), np.zeros((11, 1)))
+        sub = traj.restricted(0.3, 0.7)
+        assert sub.t0 >= 0.3 and sub.t_final <= 0.7
+        with pytest.raises(ValueError):
+            traj.restricted(2.0, 3.0)
+
+    def test_reversed_time(self):
+        traj = Trajectory([1.0, 0.0], [[1.0], [0.0]])
+        rev = traj.reversed_time()
+        assert rev.times[0] == 0.0 and rev.times[-1] == 1.0
+
+
+class TestRK4:
+    def test_step_exact_for_cubic(self):
+        # RK4 integrates polynomials of degree <= 3 in t exactly.
+        f = lambda t, x: np.array([3 * t**2])
+        out = rk4_step(f, 0.0, np.array([0.0]), 1.0)
+        np.testing.assert_allclose(out, [1.0], atol=1e-14)
+
+    def test_exponential_accuracy(self):
+        f = lambda t, x: -x
+        traj = rk4_integrate(f, [1.0], np.linspace(0, 1, 101))
+        assert traj.final_state[0] == pytest.approx(np.exp(-1.0), abs=1e-9)
+
+    def test_backward_integration(self):
+        f = lambda t, x: -x
+        fwd = rk4_integrate(f, [1.0], np.linspace(0, 1, 101))
+        back = rk4_integrate(f, fwd.final_state, np.linspace(1, 0, 101))
+        assert back.final_state[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_convergence_order(self):
+        # Halving the step should reduce the error by ~2^4.
+        f = lambda t, x: np.array([x[0] * np.cos(t)])
+        exact = np.exp(np.sin(2.0))
+        errors = []
+        for n in (20, 40):
+            traj = rk4_integrate(f, [1.0], np.linspace(0, 2, n + 1))
+            errors.append(abs(traj.final_state[0] - exact))
+        order = np.log2(errors[0] / errors[1])
+        assert order > 3.5
+
+    def test_grid_validation(self):
+        f = lambda t, x: x
+        with pytest.raises(ValueError):
+            rk4_integrate(f, [1.0], [0.0])
+        with pytest.raises(ValueError):
+            rk4_integrate(f, [1.0], [0.0, 1.0, 0.5])
+
+
+class TestControlledRK4:
+    def test_piecewise_control_applied(self):
+        # x' = u with u = 1 then u = -1: triangle wave.
+        f = lambda t, x, u: np.array([u[0]])
+        grid = np.linspace(0, 2, 201)
+        controls = np.where(grid[:-1] < 1.0, 1.0, -1.0)
+        traj = rk4_integrate_controlled(f, [0.0], grid, controls)
+        assert traj(1.0)[0] == pytest.approx(1.0, abs=1e-9)
+        assert traj.final_state[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_vector_controls(self):
+        f = lambda t, x, u: u
+        grid = np.linspace(0, 1, 11)
+        controls = np.tile([1.0, 2.0], (10, 1))
+        traj = rk4_integrate_controlled(f, [0.0, 0.0], grid, controls)
+        np.testing.assert_allclose(traj.final_state, [1.0, 2.0], atol=1e-12)
+
+    def test_control_length_validated(self):
+        f = lambda t, x, u: x
+        with pytest.raises(ValueError):
+            rk4_integrate_controlled(f, [1.0], np.linspace(0, 1, 11), np.zeros(5))
+
+
+class TestSolveOde:
+    def test_matches_analytic(self):
+        traj = solve_ode(lambda t, x: -x, [1.0], (0.0, 2.0))
+        assert traj.final_state[0] == pytest.approx(np.exp(-2.0), rel=1e-6)
+
+    def test_t_eval_respected(self):
+        t_eval = np.linspace(0, 1, 7)
+        traj = solve_ode(lambda t, x: -x, [1.0], (0.0, 1.0), t_eval=t_eval)
+        np.testing.assert_allclose(traj.times, t_eval)
+
+    def test_matches_rk4(self):
+        f = lambda t, x: np.array([x[1], -x[0]])
+        a = solve_ode(f, [1.0, 0.0], (0.0, 3.0), rtol=1e-10, atol=1e-12)
+        b = rk4_integrate(f, [1.0, 0.0], np.linspace(0, 3, 3001))
+        np.testing.assert_allclose(a.final_state, b.final_state, atol=1e-7)
+
+
+class TestFindFixedPoint:
+    def test_linear_decay(self):
+        fp = find_fixed_point(lambda x: -x + 3.0, np.array([0.0]))
+        np.testing.assert_allclose(fp, [3.0], atol=1e-8)
+
+    def test_logistic(self):
+        fp = find_fixed_point(lambda x: x * (1.0 - x), np.array([0.2]))
+        np.testing.assert_allclose(fp, [1.0], atol=1e-8)
+
+    def test_2d_system(self):
+        def f(x):
+            return np.array([1.0 - x[0], x[0] - x[1]])
+
+        fp = find_fixed_point(f, np.array([0.0, 0.0]))
+        np.testing.assert_allclose(fp, [1.0, 1.0], atol=1e-8)
+
+    def test_limit_cycle_raises(self):
+        # Harmonic oscillator never settles.
+        def f(x):
+            return np.array([x[1], -x[0]])
+
+        with pytest.raises(RuntimeError):
+            find_fixed_point(f, np.array([1.0, 0.0]), settle_time=10.0,
+                             max_rounds=2)
+
+    def test_residual_at_fixed_point(self, sir_model):
+        fp = find_fixed_point(sir_model.drift_fn([10.0]), np.array([0.7, 0.05]))
+        assert np.linalg.norm(sir_model.drift(fp, [10.0])) < 1e-9

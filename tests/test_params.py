@@ -1,0 +1,220 @@
+"""Unit tests for parameter domains (repro.params)."""
+
+import numpy as np
+import pytest
+
+from repro.params import Box, DiscreteSet, Interval, ParameterSet, Singleton
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        iv = Interval(1.0, 10.0, name="contact")
+        assert iv.dim == 1
+        assert iv.lower == 1.0
+        assert iv.upper == 10.0
+        assert iv.width == 9.0
+        assert iv.names == ("contact",)
+
+    def test_contains_interior_and_bounds(self):
+        iv = Interval(1.0, 10.0)
+        assert iv.contains(5.0)
+        assert iv.contains(1.0)
+        assert iv.contains(10.0)
+        assert not iv.contains(0.5)
+        assert not iv.contains(10.5)
+
+    def test_contains_with_tolerance(self):
+        iv = Interval(0.0, 1.0)
+        assert iv.contains(1.0 + 1e-13)
+        assert not iv.contains(1.0 + 1e-6)
+
+    def test_dunder_contains(self):
+        iv = Interval(0.0, 1.0)
+        assert 0.5 in iv
+        assert 2.0 not in iv
+
+    def test_project_clips(self):
+        iv = Interval(1.0, 10.0)
+        assert iv.project(0.0) == pytest.approx([1.0])
+        assert iv.project(20.0) == pytest.approx([10.0])
+        assert iv.project(3.3) == pytest.approx([3.3])
+
+    def test_corners(self):
+        corners = Interval(1.0, 10.0).corners()
+        assert corners.shape == (2, 1)
+        np.testing.assert_allclose(corners.ravel(), [1.0, 10.0])
+
+    def test_grid_endpoints_and_count(self):
+        grid = Interval(0.0, 4.0).grid(5)
+        assert grid.shape == (5, 1)
+        np.testing.assert_allclose(grid.ravel(), [0, 1, 2, 3, 4])
+
+    def test_grid_single_point_is_midpoint(self):
+        grid = Interval(0.0, 4.0).grid(1)
+        np.testing.assert_allclose(grid, [[2.0]])
+
+    def test_grid_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 1.0).grid(0)
+
+    def test_sample_within_bounds(self, rng):
+        samples = Interval(2.0, 3.0).sample(rng, 100)
+        assert samples.shape == (100, 1)
+        assert np.all(samples >= 2.0)
+        assert np.all(samples <= 3.0)
+
+    def test_center(self):
+        np.testing.assert_allclose(Interval(1.0, 3.0).center(), [2.0])
+
+    def test_degenerate_interval_allowed(self):
+        iv = Interval(2.0, 2.0)
+        assert iv.contains(2.0)
+        assert iv.width == 0.0
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3.0, 1.0)
+
+    def test_nonfinite_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, np.inf)
+
+
+class TestBox:
+    def make(self):
+        return Box([("a", 1.0, 7.0), ("b", 2.0, 3.0)])
+
+    def test_basic_properties(self):
+        box = self.make()
+        assert box.dim == 2
+        assert box.names == ("a", "b")
+        np.testing.assert_allclose(box.lowers, [1.0, 2.0])
+        np.testing.assert_allclose(box.uppers, [7.0, 3.0])
+
+    def test_from_bounds(self):
+        box = Box.from_bounds([0.0, 1.0], [1.0, 2.0])
+        assert box.dim == 2
+        assert box.names == ("theta0", "theta1")
+
+    def test_from_bounds_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Box.from_bounds([0.0], [1.0, 2.0])
+
+    def test_from_intervals(self):
+        box = Box([Interval(0.0, 1.0, name="x"), Interval(2.0, 4.0, name="y")])
+        assert box.names == ("x", "y")
+        np.testing.assert_allclose(box.uppers, [1.0, 4.0])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Box([("a", 0, 1), ("a", 0, 1)])
+
+    def test_interval_accessor(self):
+        box = self.make()
+        iv = box.interval("b")
+        assert iv.lower == 2.0 and iv.upper == 3.0
+        iv0 = box.interval(0)
+        assert iv0.names == ("a",)
+
+    def test_contains(self):
+        box = self.make()
+        assert box.contains([3.0, 2.5])
+        assert box.contains([1.0, 2.0])
+        assert not box.contains([0.0, 2.5])
+        assert not box.contains([3.0, 3.5])
+
+    def test_contains_wrong_dimension(self):
+        assert not self.make().contains([3.0])
+
+    def test_project(self):
+        box = self.make()
+        np.testing.assert_allclose(box.project([0.0, 10.0]), [1.0, 3.0])
+        np.testing.assert_allclose(box.project([4.0, 2.5]), [4.0, 2.5])
+
+    def test_project_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            self.make().project([1.0])
+
+    def test_corners_count_and_membership(self):
+        box = self.make()
+        corners = box.corners()
+        assert corners.shape == (4, 2)
+        for corner in corners:
+            assert box.contains(corner)
+
+    def test_grid_shape_and_membership(self):
+        box = self.make()
+        grid = box.grid(3)
+        assert grid.shape == (9, 2)
+        for point in grid:
+            assert box.contains(point)
+
+    def test_sample(self, rng):
+        box = self.make()
+        samples = box.sample(rng, 50)
+        assert samples.shape == (50, 2)
+        for s in samples:
+            assert box.contains(s)
+
+    def test_center(self):
+        np.testing.assert_allclose(self.make().center(), [4.0, 2.5])
+
+
+class TestDiscreteSet:
+    def test_scalar_values_promoted(self):
+        ds = DiscreteSet([1.0, 2.0, 3.0])
+        assert ds.dim == 1
+        assert ds.values.shape == (3, 1)
+
+    def test_contains(self):
+        ds = DiscreteSet([[1.0, 0.0], [0.0, 1.0]])
+        assert ds.contains([1.0, 0.0])
+        assert not ds.contains([0.5, 0.5])
+
+    def test_project_picks_nearest(self):
+        ds = DiscreteSet([[0.0], [10.0]])
+        np.testing.assert_allclose(ds.project([3.0]), [0.0])
+        np.testing.assert_allclose(ds.project([7.0]), [10.0])
+
+    def test_corners_are_all_values(self):
+        ds = DiscreteSet([[1.0], [2.0], [5.0]])
+        assert ds.corners().shape == (3, 1)
+
+    def test_sample_draws_members(self, rng):
+        ds = DiscreteSet([[1.0], [2.0]])
+        for s in ds.sample(rng, 20):
+            assert ds.contains(s)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteSet(np.empty((0, 1)))
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteSet([[1.0, 2.0]], names=["only_one"])
+
+
+class TestSingleton:
+    def test_value_roundtrip(self):
+        s = Singleton([4.2])
+        np.testing.assert_allclose(s.value, [4.2])
+        assert s.contains([4.2])
+        assert not s.contains([4.3])
+
+    def test_center_is_value(self):
+        s = Singleton([1.0, 2.0])
+        np.testing.assert_allclose(s.center(), [1.0, 2.0])
+
+    def test_is_parameter_set(self):
+        assert isinstance(Singleton([1.0]), ParameterSet)
+
+
+class TestAbstractInterface:
+    def test_base_class_raises(self):
+        base = ParameterSet()
+        with pytest.raises(NotImplementedError):
+            base.contains([1.0])
+        with pytest.raises(NotImplementedError):
+            base.corners()
+        with pytest.raises(NotImplementedError):
+            _ = base.dim

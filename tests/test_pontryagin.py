@@ -1,0 +1,291 @@
+"""Tests for the Pontryagin forward–backward sweep (repro.bounds.pontryagin)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    PontryaginResult,
+    extremal_trajectory,
+    pontryagin_transient_bounds,
+    reachable_polytope_2d,
+    switching_function,
+    switching_times,
+    switching_times_from_costate,
+    uncertain_envelope,
+)
+from repro.params import Interval
+from repro.population import PopulationModel, Transition
+
+
+def linear_control_model():
+    """x' = theta with theta in [-1, 1]: analytic optimum x(T) = T."""
+    tr = Transition("move", [1.0], lambda x, th: th[0])
+    return PopulationModel(
+        "linear", ("x",), [tr], Interval(-1.0, 1.0),
+        affine_drift=lambda x: (np.zeros(1), np.ones((1, 1))),
+        drift_jacobian=lambda x, th: np.zeros((1, 1)),
+    )
+
+
+def double_integrator_model():
+    """x1' = x2, x2' = theta, theta in [-1, 1]."""
+    move = Transition("vel", [1.0, 0.0], lambda x, th: x[1])
+    acc = Transition("acc", [0.0, 1.0], lambda x, th: th[0])
+    return PopulationModel(
+        "double_integrator", ("pos", "vel"), [move, acc],
+        Interval(-1.0, 1.0),
+        affine_drift=lambda x: (
+            np.array([x[1], 0.0]),
+            np.array([[0.0], [1.0]]),
+        ),
+        drift_jacobian=lambda x, th: np.array([[0.0, 1.0], [0.0, 0.0]]),
+    )
+
+
+class TestAnalyticOptima:
+    def test_linear_max(self):
+        model = linear_control_model()
+        res = extremal_trajectory(model, [0.0], 2.0, [1.0], n_steps=100)
+        assert res.value == pytest.approx(2.0, abs=1e-6)
+        assert res.converged
+        np.testing.assert_allclose(res.controls[:, 0], 1.0)
+
+    def test_linear_min(self):
+        model = linear_control_model()
+        res = extremal_trajectory(model, [0.0], 2.0, [1.0], maximize=False,
+                                  n_steps=100)
+        assert res.value == pytest.approx(-2.0, abs=1e-6)
+
+    def test_double_integrator_max_position(self):
+        # max x1(T) with x1' = x2, x2' = u: full throttle, x1(T) = T^2/2.
+        model = double_integrator_model()
+        res = extremal_trajectory(model, [0.0, 0.0], 2.0, [1.0, 0.0],
+                                  n_steps=200)
+        assert res.value == pytest.approx(2.0, abs=1e-5)
+        assert res.converged
+
+    def test_costate_terminal_condition(self):
+        model = double_integrator_model()
+        res = extremal_trajectory(model, [0.0, 0.0], 1.0, [1.0, 0.0],
+                                  n_steps=100)
+        np.testing.assert_allclose(res.costates[-1], [1.0, 0.0], atol=1e-12)
+
+    def test_costate_dynamics_double_integrator(self):
+        # p1' = 0, p2' = -p1 -> p1 = 1, p2(t) = T - t.
+        model = double_integrator_model()
+        horizon = 1.0
+        res = extremal_trajectory(model, [0.0, 0.0], horizon, [1.0, 0.0],
+                                  n_steps=100)
+        np.testing.assert_allclose(res.costates[:, 0], 1.0, atol=1e-9)
+        np.testing.assert_allclose(
+            res.costates[:, 1], horizon - res.times, atol=1e-9
+        )
+
+
+class TestSIRPaperValues:
+    """Figure 2 of the paper: bang-bang extremals of the SIR model."""
+
+    @pytest.mark.slow
+    def test_max_infected_at_3_is_bang_bang(self, sir_model, sir_x0):
+        res = extremal_trajectory(sir_model, sir_x0, 3.0, [0.0, 1.0],
+                                  n_steps=300)
+        assert res.converged
+        switches = switching_times(res)
+        # Paper: theta_min for t < ~2.25 then theta_max.
+        assert len(switches) == 1
+        assert 2.0 < switches[0] < 2.5
+        assert res.controls[0, 0] == pytest.approx(1.0)
+        assert res.controls[-1, 0] == pytest.approx(10.0)
+        # Value ~0.17 (paper figure peaks slightly below 0.2).
+        assert 0.15 < res.value < 0.20
+
+    @pytest.mark.slow
+    def test_min_infected_at_3_two_switches(self, sir_model, sir_x0):
+        res = extremal_trajectory(sir_model, sir_x0, 3.0, [0.0, 1.0],
+                                  maximize=False, n_steps=300)
+        switches = switching_times(res)
+        # Paper: theta_min until ~0.7, theta_max until ~2.2, theta_min after.
+        assert len(switches) == 2
+        assert 0.4 < switches[0] < 1.0
+        assert 1.8 < switches[1] < 2.4
+        assert res.value < 0.03
+
+    def test_imprecise_dominates_uncertain(self, sir_model, sir_x0):
+        # Eq. 12: the uncertain envelope is inside the imprecise bounds.
+        horizon = 2.0
+        res_max = extremal_trajectory(sir_model, sir_x0, horizon, [0.0, 1.0],
+                                      n_steps=150)
+        res_min = extremal_trajectory(sir_model, sir_x0, horizon, [0.0, 1.0],
+                                      maximize=False, n_steps=150)
+        env = uncertain_envelope(sir_model, sir_x0, np.array([0.0, horizon]),
+                                 resolution=15)
+        assert res_max.value >= env.upper["I"][-1] - 1e-6
+        assert res_min.value <= env.lower["I"][-1] + 1e-6
+
+
+class TestSweepMechanics:
+    def test_invalid_inputs(self, sir_model, sir_x0):
+        with pytest.raises(ValueError):
+            extremal_trajectory(sir_model, sir_x0, -1.0, [0.0, 1.0])
+        with pytest.raises(ValueError):
+            extremal_trajectory(sir_model, sir_x0, 1.0, [0.0, 1.0], n_steps=1)
+        with pytest.raises(ValueError):
+            extremal_trajectory(sir_model, sir_x0, 1.0, [0.0, 0.0])
+        with pytest.raises(ValueError):
+            extremal_trajectory(sir_model, sir_x0, 1.0, [1.0, 0.0, 0.0])
+
+    def test_warm_start_shape_validated(self, sir_model, sir_x0):
+        with pytest.raises(ValueError):
+            extremal_trajectory(sir_model, sir_x0, 1.0, [0.0, 1.0],
+                                n_steps=10, initial_controls=np.zeros((5, 1)))
+
+    def test_warm_start_accepted(self, sir_model, sir_x0):
+        warm = np.full((50, 1), 5.0)
+        res = extremal_trajectory(sir_model, sir_x0, 1.0, [0.0, 1.0],
+                                  n_steps=50, initial_controls=warm)
+        assert res.converged
+
+    def test_controls_admissible(self, sir_model, sir_x0):
+        res = extremal_trajectory(sir_model, sir_x0, 2.0, [0.0, 1.0],
+                                  n_steps=100)
+        for u in res.controls:
+            assert sir_model.theta_set.contains(u, tol=1e-9)
+
+    def test_control_at_lookup(self, sir_model, sir_x0):
+        res = extremal_trajectory(sir_model, sir_x0, 2.0, [0.0, 1.0],
+                                  n_steps=100)
+        np.testing.assert_allclose(res.control_at(0.0), res.controls[0])
+        np.testing.assert_allclose(res.control_at(1.99), res.controls[-1])
+        np.testing.assert_allclose(res.control_at(5.0), res.controls[-1])
+
+    def test_trajectory_property(self, sir_model, sir_x0):
+        res = extremal_trajectory(sir_model, sir_x0, 1.0, [0.0, 1.0],
+                                  n_steps=60)
+        traj = res.trajectory
+        np.testing.assert_allclose(traj.final_state, res.states[-1])
+
+    def test_value_reported_in_objective_units(self, sir_model, sir_x0):
+        res_min = extremal_trajectory(sir_model, sir_x0, 1.0, [0.0, 1.0],
+                                      maximize=False, n_steps=60)
+        # Minimised value equals direction . x(T) of the found trajectory.
+        assert res_min.value == pytest.approx(res_min.states[-1, 1], abs=1e-9)
+
+
+class TestSwitchingExtraction:
+    def test_costate_switch_matches_control_switch(self, sir_model, sir_x0):
+        res = extremal_trajectory(sir_model, sir_x0, 3.0, [0.0, 1.0],
+                                  n_steps=300)
+        from_control = switching_times(res, min_dwell=0.3)
+        from_costate = switching_times_from_costate(res, sir_model)
+        assert len(from_costate) == 1
+        assert abs(from_control[0] - from_costate[0]) < 0.3
+
+    def test_switching_function_sign_matches_control(self, sir_model, sir_x0):
+        res = extremal_trajectory(sir_model, sir_x0, 2.0, [0.0, 1.0],
+                                  n_steps=200)
+        sigma = switching_function(res, sir_model)
+        # Where sigma is clearly positive the control sits at theta_max.
+        for i in range(res.controls.shape[0]):
+            if sigma[i] > 1e-3:
+                assert res.controls[i, 0] > 9.0
+            elif sigma[i] < -1e-3:
+                assert res.controls[i, 0] < 2.0
+
+    def test_switching_function_requires_affine(self, sir_model, sir_x0):
+        from repro.params import Interval
+        from repro.population import PopulationModel, Transition
+
+        res = extremal_trajectory(sir_model, sir_x0, 1.0, [0.0, 1.0],
+                                  n_steps=60)
+        nonaffine = PopulationModel(
+            "na", ("a", "b"),
+            [Transition("t", [1.0, 0.0], lambda x, th: th[0] ** 2)],
+            Interval(0.0, 1.0),
+        )
+        with pytest.raises(ValueError):
+            switching_function(res, nonaffine)
+
+    def test_min_dwell_consolidates_chatter(self):
+        # Synthetic result with a chattering band: 1 structural switch.
+        times = np.linspace(0.0, 1.0, 11)
+        controls = np.array([1, 1, 1, 10, 1, 10, 10, 10, 10, 10],
+                            dtype=float)[:, None]
+        res = PontryaginResult(
+            times=times, states=np.zeros((11, 2)), costates=np.zeros((11, 2)),
+            controls=controls, direction=np.array([0.0, 1.0]),
+            maximize=True, value=0.0, converged=True, iterations=1,
+        )
+        raw = switching_times(res)
+        consolidated = switching_times(res, min_dwell=0.25)
+        assert len(raw) == 3
+        assert len(consolidated) == 1
+
+    def test_min_dwell_keeps_clean_signal(self):
+        times = np.linspace(0.0, 1.0, 11)
+        controls = np.array([1, 1, 1, 1, 1, 10, 10, 10, 10, 10],
+                            dtype=float)[:, None]
+        res = PontryaginResult(
+            times=times, states=np.zeros((11, 2)), costates=np.zeros((11, 2)),
+            controls=controls, direction=np.array([0.0, 1.0]),
+            maximize=True, value=0.0, converged=True, iterations=1,
+        )
+        assert switching_times(res, min_dwell=0.25) == [pytest.approx(0.5)]
+
+
+class TestTransientBounds:
+    def test_monotone_horizons_required(self, sir_model, sir_x0):
+        with pytest.raises(ValueError):
+            pontryagin_transient_bounds(sir_model, sir_x0, [1.0, 0.5])
+        with pytest.raises(ValueError):
+            pontryagin_transient_bounds(sir_model, sir_x0, [0.0, 1.0])
+
+    def test_bounds_bracket_uncertain(self, sir_model, sir_x0):
+        horizons = np.array([0.5, 1.0, 1.5])
+        tb = pontryagin_transient_bounds(sir_model, sir_x0, horizons,
+                                         observables=["I"], steps_per_unit=60)
+        env = uncertain_envelope(sir_model, sir_x0,
+                                 np.insert(horizons, 0, 0.0), resolution=9)
+        for k in range(3):
+            assert tb.lower["I"][k] <= env.lower["I"][k + 1] + 1e-5
+            assert tb.upper["I"][k] >= env.upper["I"][k + 1] - 1e-5
+
+    def test_width_and_final_helpers(self, sir_model, sir_x0):
+        tb = pontryagin_transient_bounds(sir_model, sir_x0, [0.5, 1.0],
+                                         observables=["I"], steps_per_unit=60)
+        assert np.all(tb.width("I") >= -1e-9)
+        lo, hi = tb.final_bounds("I")
+        assert lo <= hi
+
+    def test_keep_results(self, sir_model, sir_x0):
+        tb = pontryagin_transient_bounds(
+            sir_model, sir_x0, [0.5, 1.0], observables=["I"],
+            steps_per_unit=60, keep_results=True,
+        )
+        assert len(tb.upper_results["I"]) == 2
+        assert tb.upper_results["I"][0].maximize
+
+
+class TestReachablePolytope:
+    def test_2d_only(self, gps_map):
+        from repro.models import gps_initial_state_map
+
+        with pytest.raises(ValueError):
+            reachable_polytope_2d(gps_map, gps_initial_state_map(), 1.0)
+
+    def test_min_directions(self, sir_model, sir_x0):
+        with pytest.raises(ValueError):
+            reachable_polytope_2d(sir_model, sir_x0, 1.0, n_directions=2)
+
+    @pytest.mark.slow
+    def test_polytope_contains_uncertain_endpoints(self, sir_model, sir_x0):
+        from repro.geometry import ConvexPolygon
+        from repro.ode import solve_ode
+
+        horizon = 1.0
+        vertices = reachable_polytope_2d(sir_model, sir_x0, horizon,
+                                         n_directions=12, n_steps=120)
+        poly = ConvexPolygon(vertices)
+        for theta in (1.0, 4.0, 10.0):
+            traj = solve_ode(sir_model.vector_field([theta]), sir_x0,
+                             (0, horizon))
+            assert poly.contains(traj.final_state, tol=1e-3)

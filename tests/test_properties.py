@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import ConvexPolygon, convex_hull, polygon_area
+from repro.inclusion import DriftExtremizer
+from repro.models import make_sir_model
+from repro.params import Box, Interval
+
+FAST = settings(max_examples=50, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False)
+unit_floats = st.floats(min_value=0.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False)
+
+
+class TestIntervalProperties:
+    @FAST
+    @given(lo=finite_floats, width=st.floats(min_value=0.0, max_value=50.0),
+           value=finite_floats)
+    def test_projection_is_idempotent_and_inside(self, lo, width, value):
+        iv = Interval(lo, lo + width)
+        projected = iv.project(value)
+        assert iv.contains(projected)
+        np.testing.assert_allclose(iv.project(projected), projected)
+
+    @FAST
+    @given(lo=finite_floats, width=st.floats(min_value=1e-6, max_value=50.0),
+           seed=st.integers(0, 2**16))
+    def test_samples_inside(self, lo, width, seed):
+        iv = Interval(lo, lo + width)
+        rng = np.random.default_rng(seed)
+        for s in iv.sample(rng, 5):
+            assert iv.contains(s)
+
+    @FAST
+    @given(lo=finite_floats, width=st.floats(min_value=0.0, max_value=50.0),
+           resolution=st.integers(1, 20))
+    def test_grid_inside_and_sorted(self, lo, width, resolution):
+        iv = Interval(lo, lo + width)
+        grid = iv.grid(resolution).ravel()
+        assert np.all(np.diff(grid) >= 0)
+        for g in grid:
+            assert iv.contains(g)
+
+
+class TestBoxProperties:
+    @FAST
+    @given(data=st.data())
+    def test_projection_never_moves_interior_points(self, data):
+        dims = data.draw(st.integers(1, 4))
+        lowers = [data.draw(finite_floats) for _ in range(dims)]
+        widths = [data.draw(st.floats(min_value=1e-3, max_value=10.0))
+                  for _ in range(dims)]
+        box = Box.from_bounds(lowers, [lo + w for lo, w in zip(lowers, widths)])
+        fracs = [data.draw(unit_floats) for _ in range(dims)]
+        point = box.lowers + np.asarray(fracs) * (box.uppers - box.lowers)
+        np.testing.assert_allclose(box.project(point), point, atol=1e-12)
+
+    @FAST
+    @given(data=st.data())
+    def test_corners_extremal_for_linear_functionals(self, data):
+        dims = data.draw(st.integers(1, 3))
+        box = Box.from_bounds([0.0] * dims, [1.0] * dims)
+        coeffs = np.array([data.draw(finite_floats) for _ in range(dims)])
+        corners = box.corners()
+        best_corner = np.max(corners @ coeffs)
+        seed = data.draw(st.integers(0, 2**16))
+        rng = np.random.default_rng(seed)
+        for s in box.sample(rng, 10):
+            assert coeffs @ s <= best_corner + 1e-9
+
+
+class TestHullProperties:
+    @FAST
+    @given(data=st.data())
+    def test_hull_contains_every_input_point(self, data):
+        n = data.draw(st.integers(3, 40))
+        pts = np.array(
+            [[data.draw(finite_floats), data.draw(finite_floats)]
+             for _ in range(n)]
+        )
+        hull = convex_hull(pts)
+        if hull.shape[0] < 3:
+            return  # degenerate cloud: nothing to check
+        poly = ConvexPolygon(hull)
+        scale = max(1.0, float(np.abs(pts).max()))
+        for p in pts:
+            assert poly.distance(p) <= 1e-7 * scale
+
+    @FAST
+    @given(data=st.data())
+    def test_hull_idempotent(self, data):
+        n = data.draw(st.integers(3, 25))
+        pts = np.array(
+            [[data.draw(finite_floats), data.draw(finite_floats)]
+             for _ in range(n)]
+        )
+        hull1 = convex_hull(pts)
+        hull2 = convex_hull(hull1)
+        assert abs(polygon_area(hull1) - polygon_area(hull2)) < 1e-9 * max(
+            1.0, abs(polygon_area(hull1))
+        )
+
+    @FAST
+    @given(data=st.data())
+    def test_expansion_monotone_in_area(self, data):
+        pts = np.array(
+            [[data.draw(finite_floats), data.draw(finite_floats)]
+             for _ in range(8)]
+        )
+        extra = np.array([data.draw(finite_floats), data.draw(finite_floats)])
+        hull = convex_hull(pts)
+        if hull.shape[0] < 3:
+            return
+        poly = ConvexPolygon(hull)
+        grown = poly.expanded_with(extra)
+        assert grown.area >= poly.area - 1e-9
+
+
+class TestExtremizerProperties:
+    """The support-function maximiser dominates every sampled member."""
+
+    @FAST
+    @given(s=unit_floats, i=unit_floats,
+           px=finite_floats, py=finite_floats,
+           seed=st.integers(0, 2**16))
+    def test_affine_maximiser_dominates_samples(self, s, i, px, py, seed):
+        model = make_sir_model()
+        ext = DriftExtremizer(model)
+        x = np.array([s, i])
+        p = np.array([px, py])
+        _, best = ext.maximize_direction(x, p)
+        rng = np.random.default_rng(seed)
+        for theta in model.theta_set.sample(rng, 8):
+            assert p @ model.drift(x, theta) <= best + 1e-7 * (1 + abs(best))
+
+    @FAST
+    @given(s=unit_floats, i=unit_floats, seed=st.integers(0, 2**16))
+    def test_coordinate_range_brackets_samples(self, s, i, seed):
+        model = make_sir_model()
+        ext = DriftExtremizer(model)
+        x = np.array([s, i])
+        rng = np.random.default_rng(seed)
+        for index in range(2):
+            lo, hi = ext.coordinate_range(x, index)
+            for theta in model.theta_set.sample(rng, 5):
+                value = model.drift(x, theta)[index]
+                assert lo - 1e-9 <= value <= hi + 1e-9
+
+
+class TestDriftProperties:
+    @FAST
+    @given(s=unit_floats, i=unit_floats,
+           th=st.floats(min_value=1.0, max_value=10.0))
+    def test_sir_drift_affine_identity(self, s, i, th):
+        model = make_sir_model()
+        x = np.array([s, i])
+        g0, big_g = model.affine_parts(x)
+        direct = model.drift(x, [th])
+        np.testing.assert_allclose(g0 + big_g @ [th], direct, atol=1e-10)
+
+    @FAST
+    @given(s=unit_floats, i=unit_floats,
+           th=st.floats(min_value=1.0, max_value=10.0))
+    def test_sir_simplex_flow_balance(self, s, i, th):
+        """The full model's drift always sums to zero (mass conservation)."""
+        from repro.models import make_sir_full_model
+
+        model = make_sir_full_model()
+        if s + i > 1.0:
+            s, i = s / 2.0, i / 2.0
+        x = np.array([s, i, 1.0 - s - i])
+        assert model.drift(x, [th]).sum() == pytest.approx(0.0, abs=1e-10)
+
+
+class TestTrajectoryProperties:
+    @FAST
+    @given(th=st.floats(min_value=1.0, max_value=10.0),
+           horizon=st.floats(min_value=0.1, max_value=3.0))
+    def test_sir_ode_stays_in_simplex(self, th, horizon):
+        from repro.ode import solve_ode
+
+        model = make_sir_model()
+        traj = solve_ode(model.vector_field([th]), [0.7, 0.3], (0, horizon))
+        assert np.all(traj.states >= -1e-8)
+        assert np.all(traj.states.sum(axis=1) <= 1.0 + 1e-8)

@@ -1,0 +1,104 @@
+"""Tests for the reporting layer (repro.reporting)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.reporting import ExperimentResult, Series, render_series_table, render_table
+
+
+class TestSeries:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Series("s", [0.0, 1.0], [1.0])
+
+    def test_final_and_at(self):
+        s = Series("s", [0.0, 1.0, 2.0], [0.0, 2.0, 4.0])
+        assert s.final == 4.0
+        assert s.at(0.5) == pytest.approx(1.0)
+        assert s.at(1.5) == pytest.approx(3.0)
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult("fig1", "SIR transient bounds",
+                                  parameters={"theta_max": 10.0})
+        result.add_series("upper", [0.0, 1.0], [0.3, 0.2])
+        result.add_series("lower", [0.0, 1.0], [0.3, 0.05])
+        result.add_finding("gap_at_1", 0.15)
+        result.add_note("imprecise envelope wider than uncertain")
+        return result
+
+    def test_series_accessible(self):
+        result = self.make()
+        assert set(result.series) == {"upper", "lower"}
+        assert result.series["upper"].final == pytest.approx(0.2)
+
+    def test_findings(self):
+        result = self.make()
+        assert result.findings["gap_at_1"] == pytest.approx(0.15)
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "fig1" in text
+        assert "theta_max" in text
+        assert "gap_at_1" in text
+        assert "upper" in text
+        assert "note:" in text
+
+    def test_render_with_time_points(self):
+        text = self.make().render(time_points=[0.0, 1.0])
+        assert text.count("\n") > 3
+
+    def test_to_json_roundtrip(self):
+        payload = json.loads(self.make().to_json())
+        assert payload["experiment_id"] == "fig1"
+        assert payload["parameters"]["theta_max"] == 10.0
+        assert payload["series"]["upper"]["values"] == [0.3, 0.2]
+
+    def test_json_handles_numpy_types(self):
+        result = ExperimentResult(
+            "x", "t", parameters={"arr": np.array([1.0, 2.0]),
+                                  "num": np.float64(3.5),
+                                  "tup": (1, 2)}
+        )
+        payload = json.loads(result.to_json())
+        assert payload["parameters"]["arr"] == [1.0, 2.0]
+        assert payload["parameters"]["num"] == 3.5
+        assert payload["parameters"]["tup"] == [1, 2]
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1.23456789]], float_format="{:.2f}")
+        assert "1.23" in text
+
+    def test_row_length_validated(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_series_table_empty(self):
+        assert render_series_table({}) == "(no series)"
+
+    def test_render_series_table_subsamples(self):
+        t = np.linspace(0, 1, 100)
+        series = {"a": Series("a", t, t**2)}
+        text = render_series_table(series, max_rows=5)
+        # header + rule + 5 rows
+        assert len(text.splitlines()) == 7
+
+    def test_render_series_table_common_grid(self):
+        s1 = Series("a", [0.0, 1.0], [0.0, 1.0])
+        s2 = Series("b", [0.0, 0.5, 1.0], [1.0, 1.0, 1.0])
+        text = render_series_table({"a": s1, "b": s2}, time_points=[0.0, 1.0])
+        lines = text.splitlines()
+        assert lines[0].split()[0] == "t"
+        assert len(lines) == 4

@@ -1,0 +1,55 @@
+"""Tests for the interval-width sensitivity study (repro.analysis.sensitivity)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import interval_width_sensitivity
+from repro.models import make_sir_model
+
+
+@pytest.fixture(scope="module")
+def sir_study():
+    # theta_max in {2, 5, 6}: the Figure-4 ladder including the
+    # hull-divergence case at the top.
+    return interval_width_sensitivity(
+        lambda w: make_sir_model(theta_max=1.0 + w),
+        widths=[1.0, 4.0, 5.0],
+        x0=[0.7, 0.3],
+        horizon=6.0,
+        observable_index=1,
+        n_steps=120,
+        sweep_resolution=7,
+    )
+
+
+class TestWidthSensitivity:
+    def test_all_methods_recorded(self, sir_study):
+        assert len(sir_study.hull) == 3
+        assert len(sir_study.pontryagin) == 3
+        assert len(sir_study.uncertain) == 3
+
+    def test_soundness_ordering(self, sir_study):
+        """uncertain <= pontryagin <= hull width, for every width."""
+        for k in range(3):
+            assert sir_study.uncertain[k] <= sir_study.pontryagin[k] + 1e-6
+            assert sir_study.pontryagin[k] <= sir_study.hull[k] + 1e-6
+
+    def test_widths_monotone_in_theta_range(self, sir_study):
+        assert np.all(np.diff(sir_study.pontryagin) > -1e-9)
+        assert np.all(np.diff(sir_study.hull) > -1e-9)
+
+    def test_hull_degrades_superlinearly(self, sir_study):
+        """The paper's Figure 4/5 observation, quantified."""
+        assert sir_study.degradation_is_superlinear()
+
+    def test_ratio_helper(self, sir_study):
+        ratios = sir_study.hull_over_pontryagin()
+        assert ratios.shape == (3,)
+        assert np.all(ratios >= 1.0 - 1e-6)
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ValueError):
+            interval_width_sensitivity(
+                lambda w: make_sir_model(theta_max=1.0 + w),
+                widths=[], x0=[0.7, 0.3], horizon=1.0,
+            )
