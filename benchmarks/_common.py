@@ -9,10 +9,18 @@ and archives both the text and the JSON payload under
 from __future__ import annotations
 
 import pathlib
+import time
 
 from repro.reporting import ExperimentResult
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
 
 
 def save_experiment(result: ExperimentResult, time_points=None) -> str:

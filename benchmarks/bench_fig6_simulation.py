@@ -9,7 +9,9 @@ parameter policies of the paper —
 - ``theta_2``: re-draw ``theta`` uniformly at rate ``5 X_I``;
 
 and the stationary part of each path is compared with the Birkhoff
-centre of the mean-field inclusion.
+centre of the mean-field inclusion.  Each (policy, size) cell runs a
+small ensemble of independent chains on the vectorized engine
+(:mod:`repro.engine`) and pools their stationary samples.
 
 Paper-expected shape: for ``N >= 1000`` the stationary behaviour
 essentially remains inside the Birkhoff centre, for both policies, and
@@ -28,6 +30,7 @@ from repro.steadystate import birkhoff_centre_2d
 SIZES = (100, 1000, 10000)
 T_FINAL = 80.0
 BURN_IN = 30.0
+N_RUNS = 2  # independent chains per (policy, size) cell, pooled
 
 
 def compute_fig6() -> ExperimentResult:
@@ -38,7 +41,8 @@ def compute_fig6() -> ExperimentResult:
         "(policies theta_1, theta_2; N in {100, 1000, 10000})",
         parameters={
             "sizes": SIZES, "t_final": T_FINAL, "burn_in": BURN_IN,
-            "epsilon": "3/sqrt(N)",
+            "epsilon": "3/sqrt(N)", "n_runs": N_RUNS,
+            "engine": "vectorized",
         },
     )
     region = birkhoff_centre_2d(model, x0_guess=[0.7, 0.05])
@@ -56,6 +60,7 @@ def compute_fig6() -> ExperimentResult:
     study = convergence_study(
         model, region, policies, SIZES, x0=[0.7, 0.3],
         t_final=T_FINAL, burn_in=BURN_IN, seed=2016, n_samples=1500,
+        n_runs=N_RUNS, engine="vectorized",
     )
     for name in policies:
         fracs = study.fractions(name)

@@ -32,6 +32,8 @@ Package map (see DESIGN.md for the full inventory):
 - ``repro.steadystate`` — Birkhoff centres and stationary rectangles;
 - ``repro.simulation`` / ``repro.ctmc`` — finite-``N`` stochastic and
   exact analysis;
+- ``repro.engine`` — vectorized multi-trajectory SSA ensembles and
+  multiprocessing parameter sweeps;
 - ``repro.analysis`` / ``repro.reporting`` — robust design, convergence
   studies and harness output.
 """
@@ -39,9 +41,11 @@ Package map (see DESIGN.md for the full inventory):
 from repro.analysis import (
     birkhoff_inclusion_fraction,
     convergence_study,
+    ensemble_inclusion_fraction,
     interval_width_sensitivity,
     robust_minimize_scalar,
 )
+from repro.engine import simulate_ensemble, sweep_constant_ensembles
 from repro.bounds import (
     TemplatePolytope,
     box_directions,
@@ -123,11 +127,13 @@ __all__ = [
     "birkhoff_centre_2d", "uncertain_fixed_points", "hull_steady_rectangle",
     "asymptotic_reachable_hull",
     # stochastic / exact
-    "simulate", "batch_simulate", "ConstantPolicy", "PiecewiseConstantPolicy",
+    "simulate", "batch_simulate", "simulate_ensemble",
+    "sweep_constant_ensembles", "ConstantPolicy", "PiecewiseConstantPolicy",
     "FeedbackPolicy", "HysteresisPolicy", "RandomJumpPolicy",
     "ImpreciseCTMC", "IntervalDTMC", "imprecise_reward_bounds",
     # studies & reporting
     "robust_minimize_scalar", "birkhoff_inclusion_fraction",
+    "ensemble_inclusion_fraction",
     "convergence_study", "interval_width_sensitivity",
     "ExperimentResult", "Series", "render_table",
 ]

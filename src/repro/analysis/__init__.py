@@ -12,6 +12,7 @@ from repro.analysis.convergence import (
     ConvergenceStudy,
     birkhoff_inclusion_fraction,
     convergence_study,
+    ensemble_inclusion_fraction,
 )
 from repro.analysis.robust import RobustDesignResult, robust_minimize_scalar
 from repro.analysis.sensitivity import WidthSensitivity, interval_width_sensitivity
@@ -20,6 +21,7 @@ __all__ = [
     "robust_minimize_scalar",
     "RobustDesignResult",
     "birkhoff_inclusion_fraction",
+    "ensemble_inclusion_fraction",
     "convergence_study",
     "ConvergenceStudy",
     "interval_width_sensitivity",

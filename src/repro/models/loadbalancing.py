@@ -63,13 +63,18 @@ def make_power_of_d_model(
     dim = int(buffer_depth)
     d = int(choices)
 
-    def tail(x, k: int) -> float:
-        """``x_k`` with the boundary conventions ``x_0 = 1``, ``x_{K+1} = 0``."""
+    def tail(x, k: int):
+        """``x_k`` with the boundary conventions ``x_0 = 1``, ``x_{K+1} = 0``.
+
+        Works coordinate-wise on both a single state vector and the
+        coordinate-major ``(d, n)`` batches of the vectorized engine, so
+        the rates below vectorize transparently.
+        """
         if k <= 0:
             return 1.0
         if k > dim:
             return 0.0
-        return float(x[k - 1])
+        return x[k - 1]
 
     transitions = []
     for k in range(1, dim + 1):
@@ -83,7 +88,7 @@ def make_power_of_d_model(
                 change=arrival_change,
                 rate=(lambda kk: (
                     lambda x, th: th[0]
-                    * max(tail(x, kk - 1) ** d - tail(x, kk) ** d, 0.0)
+                    * np.maximum(tail(x, kk - 1) ** d - tail(x, kk) ** d, 0.0)
                 ))(k),
             )
         )
@@ -94,7 +99,8 @@ def make_power_of_d_model(
                 f"service_from_{k}",
                 change=service_change,
                 rate=(lambda kk: (
-                    lambda x, th: mu * max(tail(x, kk) - tail(x, kk + 1), 0.0)
+                    lambda x, th: mu
+                    * np.maximum(tail(x, kk) - tail(x, kk + 1), 0.0)
                 ))(k),
             )
         )

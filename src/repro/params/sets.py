@@ -64,6 +64,16 @@ class ParameterSet:
         """Draw ``n`` uniform samples from the set, shape ``(n, dim)``."""
         raise NotImplementedError
 
+    def project_batch(self, thetas) -> np.ndarray:
+        """Project a batch of parameter vectors, shape ``(n, dim)``.
+
+        The generic implementation loops over rows; box-like sets
+        override it with a single clip so the vectorized SSA engine can
+        project whole ensembles per step.
+        """
+        arr = np.atleast_2d(np.asarray(thetas, dtype=float))
+        return np.stack([self.project(row) for row in arr])
+
     def center(self) -> np.ndarray:
         """Return a canonical interior point (the mean of the corners)."""
         return np.mean(self.corners(), axis=0)
@@ -112,6 +122,12 @@ class Interval(ParameterSet):
     def project(self, theta) -> np.ndarray:
         value = float(_as_vector(theta)[0])
         return np.array([min(max(value, self.lower), self.upper)])
+
+    def project_batch(self, thetas) -> np.ndarray:
+        arr = np.atleast_2d(np.asarray(thetas, dtype=float))
+        if arr.shape[1] != 1:
+            raise ValueError(f"expected (n, 1) parameters, got {arr.shape}")
+        return np.clip(arr, self.lower, self.upper)
 
     def corners(self) -> np.ndarray:
         return np.array([[self.lower], [self.upper]])
@@ -206,6 +222,12 @@ class Box(ParameterSet):
             raise ValueError(f"expected {self.dim} parameters, got {vec.shape[0]}")
         return np.clip(vec, self.lowers, self.uppers)
 
+    def project_batch(self, thetas) -> np.ndarray:
+        arr = np.atleast_2d(np.asarray(thetas, dtype=float))
+        if arr.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}) parameters, got {arr.shape}")
+        return np.clip(arr, self.lowers, self.uppers)
+
     def corners(self) -> np.ndarray:
         choices = [(lo, hi) for lo, hi in zip(self.lowers, self.uppers)]
         return np.array(list(itertools.product(*choices)))
@@ -268,6 +290,13 @@ class DiscreteSet(ParameterSet):
         vec = _as_vector(theta)
         dists = np.linalg.norm(self.values - vec, axis=1)
         return self.values[int(np.argmin(dists))].copy()
+
+    def project_batch(self, thetas) -> np.ndarray:
+        arr = np.atleast_2d(np.asarray(thetas, dtype=float))
+        if arr.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}) parameters, got {arr.shape}")
+        dists = np.linalg.norm(self.values[None, :, :] - arr[:, None, :], axis=2)
+        return self.values[np.argmin(dists, axis=1)].copy()
 
     def corners(self) -> np.ndarray:
         return self.values.copy()

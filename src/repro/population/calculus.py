@@ -6,7 +6,67 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["numeric_jacobian", "check_affine_decomposition"]
+__all__ = [
+    "numeric_jacobian",
+    "check_affine_decomposition",
+    "validated_batch_eval",
+]
+
+
+def validated_batch_eval(batch_fn: Callable, scalar_fn: Callable, n: int,
+                         status, can_validate: bool):
+    """Evaluate a user rate function over a batch with lazy validation.
+
+    Shared heuristic behind
+    :meth:`~repro.population.PopulationModel.transition_rates_batch` and
+    the random-jump policy lane: user rate functions are written against
+    scalar coordinates, so the batched (coordinate-major) call is only
+    trusted after it has reproduced the per-row scalar evaluation once.
+
+    Parameters
+    ----------
+    batch_fn:
+        Zero-argument thunk invoking the user function on the
+        coordinate-major batch; its result should be ``(n,)``.
+    scalar_fn:
+        Zero-argument thunk evaluating the same rows one-by-one through
+        the scalar path (always correct, already clamped).
+    n:
+        Number of batch rows.
+    status:
+        Tri-state verdict so far: ``True`` (validated), ``False``
+        (fall back forever), ``None`` (unknown).
+    can_validate:
+        Whether this batch can discriminate a broken vectorization —
+        callers pass ``True`` only for batches of two or more *distinct*
+        rows.  On an all-identical batch, normalisation-invariant
+        pooling mistakes (``np.mean`` over all rows) coincide with the
+        correct value, so validating there would wrongly bless them.
+
+    Returns
+    -------
+    ``(values, new_status)`` — ``values`` of shape ``(n,)`` clamped
+    non-negative, and the updated tri-state (``None`` means "still
+    unknown", i.e. validation was deferred).
+    """
+    if status is False or (status is None and not can_validate):
+        return scalar_fn(), status
+    try:
+        raw = np.asarray(batch_fn(), dtype=float)
+        # 0-d results are ambiguous (a constant, or a full reduction
+        # such as np.sum pooling every row); both take the fallback.
+        if raw.ndim == 0 or raw.shape != (n,):
+            raise ValueError("batched rate has wrong shape")
+    except Exception:
+        return scalar_fn(), False
+    clamped = np.maximum(raw, 0.0)
+    if status is None:
+        scalar = scalar_fn()
+        if not np.allclose(clamped, scalar, rtol=1e-9, atol=1e-12,
+                           equal_nan=True):
+            return scalar, False
+        return clamped, True
+    return clamped, True
 
 
 def numeric_jacobian(f: Callable, x, eps: float = 1e-7) -> np.ndarray:

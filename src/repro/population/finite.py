@@ -11,7 +11,7 @@ small enough.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +36,7 @@ class FinitePopulation:
         self.initial_counts = np.rint(x0 * self.population_size).astype(np.int64)
         if np.any(self.initial_counts < 0):
             raise ValueError("initial density has negative coordinates")
+        self._change_matrix: Optional[np.ndarray] = None  # built lazily
 
     @property
     def dim(self) -> int:
@@ -68,6 +69,51 @@ class FinitePopulation:
             new_counts = counts + tr.change.astype(np.int64)
             if np.any(new_counts < 0) or np.any(new_counts > self.population_size):
                 rates[e] = 0.0
+        return rates
+
+    @property
+    def change_matrix(self) -> np.ndarray:
+        """Stacked integer jump vectors, shape ``(n_transitions, d)``.
+
+        Row ``e`` is the count-space jump of transition ``e``; the
+        vectorized engine applies a whole batch of selected events with
+        one fancy-indexed addition.
+        """
+        if self._change_matrix is None:
+            self._change_matrix = np.stack(
+                [tr.change.astype(np.int64) for tr in self.model.transitions]
+            )
+        return self._change_matrix
+
+    def aggregate_rates_batch(self, counts, thetas) -> np.ndarray:
+        """Aggregate rates of every transition for a batch of count vectors.
+
+        Parameters
+        ----------
+        counts:
+            Integer count vectors, shape ``(n, d)``.
+        thetas:
+            Parameter vectors, shape ``(n, p)`` (one per row).
+
+        Returns
+        -------
+        Aggregate rates ``N * rate_e(counts / N, theta)`` of shape
+        ``(n, n_transitions)``, with boundary-leaving events disabled
+        per row exactly as in :meth:`aggregate_rates`.
+        """
+        counts = np.atleast_2d(np.asarray(counts, dtype=np.int64))
+        x = counts / self.population_size
+        rates = self.population_size * self.model.transition_rates_batch(
+            x, thetas
+        )
+        # One (n, E, d) broadcast masks every row/event pair at once —
+        # this sits in the engine's per-step hot path, where a Python
+        # loop over E transitions would dominate for deep models.
+        new_counts = counts[:, None, :] + self.change_matrix[None, :, :]
+        bad = (
+            (new_counts < 0) | (new_counts > self.population_size)
+        ).any(axis=2)
+        rates[bad] = 0.0
         return rates
 
     def apply(self, counts, transition_index: int) -> np.ndarray:

@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.params import ParameterSet, Singleton
-from repro.population.calculus import numeric_jacobian
+from repro.population.calculus import numeric_jacobian, validated_batch_eval
 from repro.population.transitions import Transition
 
 __all__ = ["PopulationModel"]
@@ -120,6 +120,10 @@ class PopulationModel:
                     f"observable {obs_name!r} weights must match state dimension"
                 )
             self.observables[str(obs_name)] = w
+        # Per-transition cache of whether the rate function accepts the
+        # batched (coordinate-major) calling convention; populated lazily
+        # by transition_rates_batch.
+        self._batch_rate_ok: dict = {}
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -162,6 +166,79 @@ class PopulationModel:
     def total_exit_rate(self, x, theta) -> float:
         """Sum of all density-scaled transition rates (the SSA race total)."""
         return float(np.sum(self.transition_rates(x, theta)))
+
+    def transition_rates_batch(self, x, theta) -> np.ndarray:
+        """Density-scaled rates of every transition for a batch of states.
+
+        Parameters
+        ----------
+        x:
+            Batch of normalised states, shape ``(n, d)``.
+        theta:
+            Batch of parameter vectors, shape ``(n, p)`` (one per row —
+            policies can differ across ensemble members).
+
+        Returns
+        -------
+        Rates of shape ``(n, n_transitions)``, clamped non-negative.
+
+        Notes
+        -----
+        Rate functions are written against scalar coordinates
+        (``x[0]``, ``theta[0]``, ...), so the batch is evaluated
+        *coordinate-major*: the function receives ``x.T`` of shape
+        ``(d, n)`` and ``theta.T`` of shape ``(p, n)``, making ``x[k]``
+        the vector of coordinate ``k`` across the batch.  Purely
+        coordinate-wise arithmetic rates (all the paper models)
+        vectorize transparently.
+
+        Functions that break the convention fall back to a per-row
+        loop, detected per transition by
+        :func:`~repro.population.calculus.validated_batch_eval`:
+
+        - hard breaks (``float()`` casts, scalar branches, ``max``)
+          raise on array input, as does a 0-d result (a constant, or a
+          full reduction like ``np.sum(x)`` that pooled the batch);
+        - soft breaks — reductions such as ``x[0] * np.sum(x)`` or
+          ``np.mean(x)`` that return the right *shape* with row-pooled
+          *values* — are caught by cross-checking the batched result
+          against the scalar evaluator row-by-row.
+
+        The cross-check only counts on a batch of *distinct* rows: on
+        an all-identical batch (the engine's first step, where every
+        ensemble row is the initial state) normalisation-invariant
+        pooling coincides with the correct value, so validation is
+        deferred until the trajectories diverge; until then the
+        always-correct per-row loop is used.  The heuristic remains a
+        heuristic — rate functions used with the vectorized engine
+        should be written as coordinate-wise arithmetic.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        theta = np.atleast_2d(np.asarray(theta, dtype=float))
+        n = x.shape[0]
+        out = np.empty((n, len(self.transitions)))
+        x_t, theta_t = x.T, theta.T
+        can_validate = n >= 2 and (
+            bool(np.any(x != x[0])) or bool(np.any(theta != theta[0]))
+        )
+        for e, tr in enumerate(self.transitions):
+            vals, status = validated_batch_eval(
+                lambda: tr.rate(x_t, theta_t),
+                lambda: np.array(
+                    [tr.rate_at(x[r], theta[r]) for r in range(n)]
+                ),
+                n,
+                self._batch_rate_ok.get(e),
+                can_validate,
+            )
+            if status is not None:
+                self._batch_rate_ok[e] = status
+            if np.isnan(vals).any():
+                raise ValueError(
+                    f"transition {tr.name!r}: rate is NaN for some batch rows"
+                )
+            out[:, e] = vals
+        return out
 
     def drift(self, x, theta) -> np.ndarray:
         """The imprecise drift ``f(x, theta) = sum_e change_e * rate_e``.

@@ -20,6 +20,40 @@ Policies provided (Section V-E of the paper uses the last two):
 
 The SSA itself (:func:`simulate`) is an exact Gillespie/first-reaction
 scheme on the lattice chain of :class:`~repro.population.FinitePopulation`.
+
+Ensembles and engines
+---------------------
+:func:`batch_simulate` runs ``n_runs`` independent replications and
+aggregates them into a :class:`BatchResult`.  It has two engines:
+
+- ``engine="vectorized"`` (default) — delegates to
+  :func:`repro.engine.simulate_ensemble`, which steps the whole
+  ensemble as ``(n_runs, d)`` arrays with batched rate evaluation and
+  per-row clocks drawn from a single generator;
+- ``engine="scalar"`` — the legacy loop over :func:`simulate`, kept for
+  differential testing of the vectorized engine.
+
+*Why the vectorized engine is still exact.*  Each ensemble row runs its
+own direct-method race, asynchronously in its own clock: the row's
+holding time is ``Exp(total rate)`` for *that row's* state and policy,
+and its event is selected proportionally to *that row's* rates.  Two
+properties carry the scalar kernel's exactness argument over unchanged:
+
+1. **memoryless restart at policy switches** — when a row's exponential
+   draw crosses the row's next deterministic ``theta`` discontinuity,
+   the engine advances that row to the switch and re-draws; by the
+   memoryless property of the exponential distribution the restarted
+   race has the same law as the conditional continuation, so
+   per-row switch handling is exact, not approximate;
+2. **per-row clocks** — rows never share holding times or selection
+   draws, only the underlying generator stream, so trajectories remain
+   mutually independent and each is distributed exactly as a scalar
+   SSA run.
+
+Consequently the two engines are *statistically* indistinguishable
+(they consume the random stream in different orders, so paths differ
+for a fixed seed); ``tests/test_engine_equivalence.py`` pins them
+together through CLT bands and two-sample KS tests.
 """
 
 from repro.simulation.policies import (

@@ -7,10 +7,25 @@ them on a common time grid: means, standard deviations, quantile bands
 and the final-state empirical cloud.  Used by the convergence studies
 and by users estimating fluctuation bands around the mean-field bounds
 (the CLT-scale ``O(1/sqrt(N))`` band of Theorem 2's ``eps_N``).
+
+Two execution engines produce the same :class:`BatchResult`:
+
+- ``engine="vectorized"`` (default) delegates to
+  :func:`repro.engine.simulate_ensemble`, which steps the whole
+  ensemble as ``(n_runs, d)`` arrays — the fast path for the large-``N``
+  / many-run workloads of Figure 6;
+- ``engine="scalar"`` is the legacy loop over the scalar
+  :func:`~repro.simulation.simulate` kernel (replication ``r`` seeded
+  ``seed + r``), kept for differential testing of the vectorized engine.
+
+The engines consume randomness differently, so for a fixed seed they
+produce different trajectories with the *same* law; the equivalence
+tests compare them through ensemble statistics.
 """
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -20,6 +35,29 @@ from repro.population import FinitePopulation
 from repro.simulation.ssa import SimulationResult, simulate
 
 __all__ = ["BatchResult", "batch_simulate"]
+
+
+def validate_ensemble_args(n_runs, t_final: float, t_start: float,
+                           n_samples: int) -> int:
+    """Shared up-front validation for the ensemble entry points.
+
+    Used by both :func:`batch_simulate` and
+    :func:`repro.engine.simulate_ensemble` so the two public surfaces
+    cannot drift apart; returns the index-normalised ``n_runs``.
+    """
+    try:
+        n_runs = operator.index(n_runs)
+    except TypeError as exc:
+        raise TypeError(
+            f"n_runs must be an integer, got {type(n_runs).__name__}"
+        ) from exc
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be positive, got {n_runs}")
+    if t_final <= t_start:
+        raise ValueError("t_final must exceed t_start")
+    if n_samples < 2:
+        raise ValueError("n_samples must be >= 2")
+    return n_runs
 
 
 @dataclass
@@ -34,11 +72,18 @@ class BatchResult:
         All sampled paths, shape ``(n_runs, n, d)``.
     population_size:
         The ``N`` of the simulated chains.
+    n_events:
+        Total model transitions executed across all runs (0 when the
+        producing engine does not track them).
+    n_policy_jumps:
+        Total autonomous policy events across all runs.
     """
 
     times: np.ndarray
     states: np.ndarray
     population_size: int
+    n_events: int = 0
+    n_policy_jumps: int = 0
 
     @property
     def n_runs(self) -> int:
@@ -93,6 +138,7 @@ def batch_simulate(
     seed: int = 0,
     n_samples: int = 200,
     t_start: float = 0.0,
+    engine: str = "vectorized",
 ) -> BatchResult:
     """Run ``n_runs`` independent replications and aggregate them.
 
@@ -103,22 +149,63 @@ def batch_simulate(
         (policies are stateful; sharing one instance across runs would
         leak mode state even though ``reset`` is called).
     seed:
-        Base seed; replication ``r`` uses ``default_rng(seed + r)``.
+        Base seed.  With ``engine="scalar"`` replication ``r`` uses
+        ``default_rng(seed + r)``; the vectorized engine drives every
+        row from the single ``default_rng(seed)``.
+    engine:
+        ``"vectorized"`` (default) steps the whole ensemble at once via
+        :func:`repro.engine.simulate_ensemble`; ``"scalar"`` is the
+        legacy per-replication loop kept for differential testing.
+        A single-run ensemble (``n_runs=1``) always uses the scalar
+        kernel: with one row there is nothing to amortise the batching
+        overhead over, so the scalar loop *is* the fast engine there
+        (both engines sample the same law, and replication 0 is seeded
+        ``default_rng(seed)`` either way).
+
+    All inputs are validated before any simulation work starts, so a
+    bad call fails fast with a specific error instead of surfacing as a
+    downstream crash mid-ensemble.
     """
-    if n_runs < 1:
-        raise ValueError("n_runs must be positive")
-    paths = []
-    times: Optional[np.ndarray] = None
-    for r in range(n_runs):
-        rng = np.random.default_rng(seed + r)
-        run: SimulationResult = simulate(
-            population, policy_factory(), t_final, rng=rng,
+    n_runs = validate_ensemble_args(n_runs, t_final, t_start, n_samples)
+    if not callable(policy_factory):
+        raise TypeError("policy_factory must be a zero-argument callable")
+    if engine not in ("vectorized", "scalar"):
+        raise ValueError(
+            f"engine must be 'vectorized' or 'scalar', got {engine!r}"
+        )
+
+    if engine == "vectorized" and n_runs > 1:
+        from repro.engine import simulate_ensemble
+
+        return simulate_ensemble(
+            population, policy_factory, t_final, n_runs=n_runs, seed=seed,
             n_samples=n_samples, t_start=t_start,
         )
+
+    paths = []
+    times: Optional[np.ndarray] = None
+    n_events = 0
+    n_policy_jumps = 0
+    for r in range(n_runs):
+        rng = np.random.default_rng(seed + r)
+        try:
+            run: SimulationResult = simulate(
+                population, policy_factory(), t_final, rng=rng,
+                n_samples=n_samples, t_start=t_start,
+            )
+        except Exception as exc:
+            raise RuntimeError(
+                f"batch_simulate: replication {r} (seed {seed + r}) "
+                f"failed: {exc}"
+            ) from exc
         times = run.times if times is None else times
         paths.append(run.states)
+        n_events += run.n_events
+        n_policy_jumps += run.n_policy_jumps
     return BatchResult(
         times=times.copy(),
         states=np.stack(paths),
         population_size=population.population_size,
+        n_events=n_events,
+        n_policy_jumps=n_policy_jumps,
     )

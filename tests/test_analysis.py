@@ -56,24 +56,41 @@ def sir_region():
 class TestInclusionFraction:
     def test_stationary_run_mostly_inside(self, sir_region):
         model, region = sir_region
-        pop = model.instantiate(2000, [0.7, 0.3])
-        run = simulate(pop, ConstantPolicy([5.0]), 60.0,
-                       rng=np.random.default_rng(5), n_samples=600)
-        stats = birkhoff_inclusion_fraction(run, region, burn_in=20.0,
-                                            epsilon=3.0 / np.sqrt(2000))
+        pop = model.instantiate(1000, [0.7, 0.3])
+        run = simulate(pop, ConstantPolicy([5.0]), 40.0,
+                       rng=np.random.default_rng(5), n_samples=400)
+        stats = birkhoff_inclusion_fraction(run, region, burn_in=15.0,
+                                            epsilon=3.0 / np.sqrt(1000))
         assert stats.fraction_inside > 0.9
         assert stats.n_samples > 0
         assert stats.mean_distance <= stats.max_distance
 
+    def test_ensemble_stats_match_pooled_runs(self, sir_region):
+        """ensemble_inclusion_fraction pools all runs' stationary samples."""
+        from repro.analysis import ensemble_inclusion_fraction
+        from repro.simulation import batch_simulate
+
+        model, region = sir_region
+        pop = model.instantiate(500, [0.7, 0.3])
+        batch = batch_simulate(pop, lambda: ConstantPolicy([5.0]), 30.0,
+                               n_runs=4, seed=9, n_samples=120)
+        stats = ensemble_inclusion_fraction(batch, region, burn_in=12.0,
+                                            epsilon=3.0 / np.sqrt(500))
+        kept = int(np.count_nonzero(batch.times >= 12.0))
+        assert stats.n_samples == 4 * kept
+        assert stats.fraction_inside > 0.8
+        with pytest.raises(ValueError):
+            ensemble_inclusion_fraction(batch, region, projection=[0])
+
     def test_transient_excluded_by_burn_in(self, sir_region):
         model, region = sir_region
         # The initial state (0.7, 0.3) is far outside the Birkhoff region.
-        pop = model.instantiate(500, [0.7, 0.3])
-        run = simulate(pop, ConstantPolicy([5.0]), 30.0,
-                       rng=np.random.default_rng(6), n_samples=300)
+        pop = model.instantiate(300, [0.7, 0.3])
+        run = simulate(pop, ConstantPolicy([5.0]), 15.0,
+                       rng=np.random.default_rng(6), n_samples=150)
         with_transient = birkhoff_inclusion_fraction(run, region,
                                                      burn_in=0.0)
-        without = birkhoff_inclusion_fraction(run, region, burn_in=10.0,
+        without = birkhoff_inclusion_fraction(run, region, burn_in=6.0,
                                               epsilon=0.1)
         assert without.fraction_inside >= with_transient.fraction_inside
 

@@ -126,5 +126,76 @@ class TestBatchSimulate:
 
     def test_invalid_n_runs(self, sir_model):
         pop = sir_model.instantiate(10, [0.7, 0.3])
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="n_runs"):
             batch_simulate(pop, lambda: ConstantPolicy([5.0]), 1.0, n_runs=0)
+
+    def test_engine_selection(self, sir_model):
+        pop = sir_model.instantiate(50, [0.7, 0.3])
+        for engine in ("vectorized", "scalar"):
+            batch = batch_simulate(pop, lambda: ConstantPolicy([5.0]), 0.5,
+                                   n_runs=2, seed=0, n_samples=5,
+                                   engine=engine)
+            assert batch.states.shape == (2, 5, 2)
+        with pytest.raises(ValueError, match="engine"):
+            batch_simulate(pop, lambda: ConstantPolicy([5.0]), 0.5,
+                           n_runs=2, engine="warp-drive")
+
+
+class TestBatchSimulateValidation:
+    """Up-front input validation: bad calls fail fast with specific
+    errors, never as downstream crashes mid-ensemble (the historical
+    failure mode was an opaque crash when the first replication died)."""
+
+    def test_zero_runs_both_engines(self, sir_model):
+        pop = sir_model.instantiate(10, [0.7, 0.3])
+        for engine in ("vectorized", "scalar"):
+            with pytest.raises(ValueError, match="n_runs must be positive"):
+                batch_simulate(pop, lambda: ConstantPolicy([5.0]), 1.0,
+                               n_runs=0, engine=engine)
+
+    def test_non_integer_runs(self, sir_model):
+        pop = sir_model.instantiate(10, [0.7, 0.3])
+        with pytest.raises(TypeError, match="n_runs must be an integer"):
+            batch_simulate(pop, lambda: ConstantPolicy([5.0]), 1.0,
+                           n_runs=2.5)
+
+    def test_non_callable_factory(self, sir_model):
+        pop = sir_model.instantiate(10, [0.7, 0.3])
+        with pytest.raises(TypeError, match="policy_factory"):
+            batch_simulate(pop, ConstantPolicy([5.0]), 1.0, n_runs=2)
+
+    def test_bad_horizon_rejected_before_running(self, sir_model):
+        pop = sir_model.instantiate(10, [0.7, 0.3])
+        calls = []
+
+        def counting_factory():
+            calls.append(1)
+            return ConstantPolicy([5.0])
+
+        with pytest.raises(ValueError, match="t_final"):
+            batch_simulate(pop, counting_factory, 0.0, n_runs=2)
+        assert not calls  # validation failed before any policy was built
+
+    def test_failing_policy_scalar_reports_replication(self, sir_model):
+        pop = sir_model.instantiate(10, [0.7, 0.3])
+
+        class ExplodingPolicy(ConstantPolicy):
+            def theta(self, t, x):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError,
+                           match="replication 0.*boom") as err:
+            batch_simulate(pop, lambda: ExplodingPolicy([5.0]), 1.0,
+                           n_runs=3, engine="scalar")
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    def test_failing_policy_vectorized_propagates(self, sir_model):
+        pop = sir_model.instantiate(10, [0.7, 0.3])
+
+        class ExplodingPolicy(ConstantPolicy):
+            def theta(self, t, x):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            batch_simulate(pop, lambda: ExplodingPolicy([5.0]), 1.0,
+                           n_runs=3, engine="vectorized")

@@ -37,6 +37,7 @@ class TestPublicAPI:
         import repro.analysis
         import repro.bounds
         import repro.ctmc
+        import repro.engine
         import repro.geometry
         import repro.inclusion
         import repro.meanfield
@@ -70,7 +71,7 @@ class TestPublicAPI:
             "repro.params", "repro.geometry", "repro.ode", "repro.population",
             "repro.models", "repro.inclusion", "repro.meanfield",
             "repro.bounds", "repro.steadystate", "repro.simulation",
-            "repro.ctmc", "repro.analysis", "repro.reporting",
+            "repro.engine", "repro.ctmc", "repro.analysis", "repro.reporting",
         ):
             module = importlib.import_module(pkg)
             for name in getattr(module, "__all__", []):

@@ -189,9 +189,9 @@ class TestSSA:
         """The paper's theta_1 policy drives S up and down repeatedly."""
         policy = HysteresisPolicy([1.0], [10.0], coordinate=0,
                                   low_threshold=0.5, high_threshold=0.85)
-        pop = sir_model.instantiate(2000, [0.7, 0.3])
-        run = simulate(pop, policy, 30.0, rng=np.random.default_rng(11),
-                       n_samples=600)
+        pop = sir_model.instantiate(1000, [0.7, 0.3])
+        run = simulate(pop, policy, 20.0, rng=np.random.default_rng(11),
+                       n_samples=400)
         theta = run.thetas[:, 0]
         # Both modes occur, and the policy flips repeatedly (oscillation).
         assert np.any(theta == 1.0)
