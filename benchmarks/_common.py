@@ -4,16 +4,28 @@ Every benchmark regenerates one figure (or numeric result) of the paper
 as an :class:`~repro.reporting.ExperimentResult`, renders it to stdout
 and archives both the text and the JSON payload under
 ``benchmarks/results/``.  EXPERIMENTS.md is written from those archives.
+
+Wall-clock timings of every harnessed experiment are additionally
+accumulated in ``benchmarks/results/BENCH_scenarios.json`` (one entry
+per experiment id, overwritten in place), so the performance trajectory
+of the scenario pipeline is tracked across commits alongside the
+figures themselves.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import tempfile
 import time
 
 from repro.reporting import ExperimentResult
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Accumulated wall-clock timings of the harnessed experiments.
+TIMINGS_PATH = RESULTS_DIR / "BENCH_scenarios.json"
 
 
 def timed(fn, *args, **kwargs):
@@ -21,6 +33,37 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def record_timing(experiment_id: str, seconds: float, **extra) -> None:
+    """Merge one experiment's wall-clock time into the timing summary.
+
+    The summary is a plain ``{experiment_id: {seconds, recorded_unix,
+    ...extra}}`` JSON object; existing entries for other experiments are
+    preserved, the entry for this one is replaced.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    try:
+        summary = json.loads(TIMINGS_PATH.read_text())
+        if not isinstance(summary, dict):
+            summary = {}
+    except (OSError, ValueError):
+        summary = {}
+    summary[str(experiment_id)] = {
+        "seconds": round(float(seconds), 6),
+        "recorded_unix": int(time.time()),
+        **extra,
+    }
+    # Atomic replace: a crashed or concurrent writer can lose its own
+    # merge, but can never leave truncated JSON that wipes the history.
+    fd, tmp_name = tempfile.mkstemp(dir=RESULTS_DIR, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(summary, indent=1, sort_keys=True) + "\n")
+        os.replace(tmp_name, TIMINGS_PATH)
+    finally:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
 
 
 def save_experiment(result: ExperimentResult, time_points=None) -> str:
@@ -34,5 +77,16 @@ def save_experiment(result: ExperimentResult, time_points=None) -> str:
 
 
 def run_once(benchmark, fn):
-    """Run a heavy experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Run a heavy experiment exactly once under pytest-benchmark timing.
+
+    When the experiment returns an :class:`ExperimentResult`, its
+    wall-clock time lands in the ``BENCH_scenarios.json`` summary keyed
+    by its experiment id — every harnessed figure gets tracked without
+    per-benchmark boilerplate.
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    seconds = time.perf_counter() - start
+    if isinstance(result, ExperimentResult):
+        record_timing(result.experiment_id, seconds)
+    return result

@@ -7,6 +7,11 @@ maximum proportion of infected nodes over ``t in [0, 4]`` for
 - the *imprecise* model (``theta(t)`` arbitrary in ``[1, 10]``):
   Pontryagin forward–backward sweeps per horizon.
 
+The computation goes through the declarative scenario subsystem: the
+``sir-transient`` catalog entry is derived (``with_overrides``) to the
+figure's dense horizon ladder, run uncached for honest timing, and the
+figure-specific gap findings are read off the returned series.
+
 Paper-expected shape: the imprecise envelope strictly contains the
 uncertain one, with the gap growing in ``t`` (the imprecise maximum is
 "much larger, especially for large values of t").
@@ -15,50 +20,49 @@ uncertain one, with the gap growing in ``t`` (the imprecise maximum is
 import numpy as np
 
 from _common import run_once, save_experiment
-from repro.bounds import pontryagin_transient_bounds, uncertain_envelope
-from repro.models import SIR_PAPER_PARAMS, make_sir_model
 from repro.reporting import ExperimentResult
+from repro.scenarios import Question, get_scenario, run_scenario
 
 HORIZONS = np.linspace(0.25, 4.0, 16)
 
+#: The Fig. 1 variant of the catalogued sir-transient scenario: same
+#: model and initial state, dense ladder and a 41-point sweep.
+FIG1_SPEC = get_scenario("sir-transient").with_overrides(
+    name="fig1",
+    title="SIR: bounds on the proportion of infected "
+          "(uncertain vs imprecise)",
+    horizon=4.0,
+    questions=(
+        Question("envelope",
+                 options={"times": [0.0] + list(HORIZONS),
+                          "resolution": 41}),
+        Question("pontryagin",
+                 options={"horizons": list(HORIZONS),
+                          "steps_per_unit": 100}),
+    ),
+)
+
 
 def compute_fig1() -> ExperimentResult:
-    model = make_sir_model()
-    x0 = np.asarray(SIR_PAPER_PARAMS["x0"])
-    result = ExperimentResult(
-        "fig1",
-        "SIR: bounds on the proportion of infected (uncertain vs imprecise)",
-        parameters={
-            "a": 0.1, "b": 5.0, "c": 1.0,
-            "theta": "[1, 10]", "x0": tuple(x0), "T": 4.0,
-        },
-    )
+    result = run_scenario(FIG1_SPEC, use_cache=False).result
+    x0 = FIG1_SPEC.x0
 
-    env = uncertain_envelope(model, x0, np.concatenate([[0.0], HORIZONS]),
-                             resolution=41, observables=["I"])
-    result.add_series("xI_max_uncertain", env.times, env.upper["I"])
-    result.add_series("xI_min_uncertain", env.times, env.lower["I"])
+    # Prepend the shared initial state to the imprecise curves so all
+    # four series start at t = 0, as in the figure.
+    for side in ("lower", "upper"):
+        series = result.series.pop(f"I_imprecise_{side}")
+        result.add_series(
+            f"I_imprecise_{side}",
+            np.concatenate([[0.0], series.times]),
+            np.concatenate([[x0[1]], series.values]),
+        )
 
-    imprecise = pontryagin_transient_bounds(
-        model, x0, HORIZONS, observables=["I"], steps_per_unit=100,
-    )
-    t_imp = np.concatenate([[0.0], HORIZONS])
-    result.add_series(
-        "xI_max_imprecise", t_imp,
-        np.concatenate([[x0[1]], imprecise.upper["I"]]),
-    )
-    result.add_series(
-        "xI_min_imprecise", t_imp,
-        np.concatenate([[x0[1]], imprecise.lower["I"]]),
-    )
-
-    gap_at_4 = imprecise.upper["I"][-1] - env.upper["I"][-1]
-    gap_at_1 = (
-        result.series["xI_max_imprecise"].at(1.0)
-        - result.series["xI_max_uncertain"].at(1.0)
-    )
-    result.add_finding("imprecise_max_at_4", imprecise.upper["I"][-1])
-    result.add_finding("uncertain_max_at_4", env.upper["I"][-1])
+    upper_imp = result.series["I_imprecise_upper"]
+    upper_unc = result.series["I_uncertain_upper"]
+    gap_at_1 = upper_imp.at(1.0) - upper_unc.at(1.0)
+    gap_at_4 = upper_imp.at(4.0) - upper_unc.at(4.0)
+    result.add_finding("imprecise_max_at_4", upper_imp.at(4.0))
+    result.add_finding("uncertain_max_at_4", upper_unc.at(4.0))
     result.add_finding("upper_gap_at_1", gap_at_1)
     result.add_finding("upper_gap_at_4", gap_at_4)
     result.add_note(

@@ -3,7 +3,8 @@
 Regenerates the steady-state comparison for
 ``theta_max in {2, 3, 4, 5}`` (``theta_min = 1``): the imprecise
 Birkhoff region, the uncertain fixed-point curve and the stationary
-rectangle of the differential hull.
+rectangle of the differential hull — each ``theta_max`` a derived
+variant of the catalogued ``sir-steadystate`` scenario.
 
 Paper-expected shape: the hull rectangle is an accurate enclosure for
 ``theta_max = 2`` and ``3``, clearly loose at ``5``, and trivial
@@ -13,15 +14,25 @@ Paper-expected shape: the hull rectangle is an accurate enclosure for
 import numpy as np
 
 from _common import run_once, save_experiment
-from repro.models import make_sir_model
 from repro.reporting import ExperimentResult
-from repro.steadystate import (
-    birkhoff_centre_2d,
-    hull_steady_rectangle,
-    uncertain_fixed_points,
-)
+from repro.scenarios import Question, get_scenario, run_scenario
 
 THETA_MAX_VALUES = (2.0, 3.0, 4.0, 5.0)
+
+
+def fig5_variant(theta_max: float, horizon: float = 200.0,
+                 birkhoff: bool = True):
+    return get_scenario("sir-steadystate").with_overrides(
+        name=f"fig5-tm{theta_max:g}",
+        model_kwargs={"theta_max": theta_max},
+        questions=(
+            Question("steadystate",
+                     options={"x0_guess": [0.7, 0.05],
+                              "fp_resolution": 21,
+                              "horizon": horizon,
+                              "birkhoff": birkhoff}),
+        ),
+    )
 
 
 def compute_fig5() -> ExperimentResult:
@@ -32,33 +43,30 @@ def compute_fig5() -> ExperimentResult:
         parameters={"theta_min": 1.0},
     )
     for theta_max in THETA_MAX_VALUES:
-        model = make_sir_model(theta_max=theta_max)
         tag = f"tm{theta_max:g}"
+        f = run_scenario(fig5_variant(theta_max), use_cache=False).result.findings
 
-        region = birkhoff_centre_2d(model, x0_guess=[0.7, 0.05])
-        curve = uncertain_fixed_points(model, resolution=21)
-        rect = hull_steady_rectangle(model, [0.7, 0.3])
-
-        vertices = region.polygon.vertices
-        result.add_finding(f"{tag}_region_area", region.polygon.area)
-        rect_area = float(np.prod(np.maximum(rect.widths(), 0.0)))
+        region_area = f["birkhoff_area"]
+        widths = np.array([
+            max(f[f"steady_hull_{name}_upper"] - f[f"steady_hull_{name}_lower"],
+                0.0)
+            for name in ("S", "I")
+        ])
+        rect_area = float(np.prod(widths))
+        result.add_finding(f"{tag}_region_area", region_area)
         result.add_finding(f"{tag}_hull_rect_area", rect_area)
-        result.add_finding(f"{tag}_hull_converged", float(rect.converged))
-        result.add_finding(
-            f"{tag}_area_ratio", rect_area / max(region.polygon.area, 1e-12)
-        )
-        result.add_finding(
-            f"{tag}_uncertain_inside_region",
-            float(sum(region.contains(fp, tol=1e-3) for fp in curve)),
-        )
-        result.add_finding(
-            f"{tag}_region_inside_rect",
-            float(all(rect.contains(v, tol=1e-2) for v in vertices)),
-        )
+        result.add_finding(f"{tag}_hull_converged", f["steady_hull_converged"])
+        result.add_finding(f"{tag}_area_ratio",
+                           rect_area / max(region_area, 1e-12))
+        result.add_finding(f"{tag}_uncertain_inside_region",
+                           f["uncertain_fp_inside_region"])
+        result.add_finding(f"{tag}_region_inside_rect",
+                           f["birkhoff_inside_steady_rect"])
     # The divergence case the paper mentions ("trivial for theta_max >= 6").
-    divergent = hull_steady_rectangle(make_sir_model(theta_max=6.0),
-                                      [0.7, 0.3], horizon=60.0)
-    result.add_finding("tm6_hull_converged", float(divergent.converged))
+    divergent = run_scenario(
+        fig5_variant(6.0, horizon=60.0, birkhoff=False), use_cache=False
+    ).result.findings
+    result.add_finding("tm6_hull_converged", divergent["steady_hull_converged"])
     result.add_note(
         "paper: hull rectangle accurate for theta_max=2,3; very loose at 5; "
         "trivial for theta_max>=6"

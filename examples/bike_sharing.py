@@ -6,13 +6,16 @@ customers take bikes at rate ``theta_a(t)`` and return them at rate
 scale (one station) the chain is small enough for *exact* analysis, so
 this example works at finite ``N`` rather than in the mean-field limit:
 
-1. enumerate the birth–death chain and build the imprecise generator
+1. bound the *occupancy density* through the catalogued
+   ``bike-station`` scenario (mean-field envelope, imprecise Pontryagin
+   bounds and a finite-``N`` vectorized SSA ensemble in one call);
+2. enumerate the birth–death chain and build the imprecise generator
    family ``Q(theta)``;
-2. bound the probability that the station is *empty* at the end of a
+3. bound the probability that the station is *empty* at the end of a
    rush hour via the imprecise Kolmogorov equations (Eq. 2 of the
    paper), solved exactly with the same Pontryagin machinery used for
    mean-field bounds — here on the master equation;
-3. compare with the uncertain (constant-rate) envelope and with SSA
+4. compare with the uncertain (constant-rate) envelope and with SSA
    estimates under an adversarial demand policy.
 
 Run:  python examples/bike_sharing.py
@@ -20,12 +23,13 @@ Run:  python examples/bike_sharing.py
 
 import numpy as np
 
-from repro import make_bike_station_model, render_table, simulate
+from repro import make_bike_station_model, render_table, run_scenario, simulate
 from repro.ctmc import (
     ImpreciseCTMC,
     imprecise_reward_bounds,
     uncertain_reward_envelope,
 )
+from repro.scenarios import get_scenario
 from repro.simulation import FeedbackPolicy
 
 N_RACKS = 15
@@ -33,9 +37,37 @@ HORIZON = 6.0  # the rush-hour window
 INITIAL_FILL = 0.6
 
 
+def mean_field_overview(arrival_bounds, return_bounds):
+    """The catalogued scenario, derived to this example's demand set."""
+    spec = get_scenario("bike-station").with_overrides(
+        name="bike-rush-hour",
+        x0=(INITIAL_FILL,),
+        model_kwargs={"arrival_bounds": list(arrival_bounds),
+                      "return_bounds": list(return_bounds)},
+    )
+    run = run_scenario(spec)
+    f = run.result.findings
+    print("mean-field occupancy bounds at the end of the rush hour "
+          f"(t = {HORIZON:g}):")
+    print(f"  uncertain envelope: [{f['occupied_uncertain_min_final']:.3f}, "
+          f"{f['occupied_uncertain_max_final']:.3f}]")
+    print(f"  imprecise (exact):  [{f['occupied_imprecise_min_final']:.3f}, "
+          f"{f['occupied_imprecise_max_final']:.3f}]")
+    print(f"  N = {int(f['ensemble_population_size'])} ensemble mean: "
+          f"[{f['ensemble_occupied_final_mean_min']:.3f}, "
+          f"{f['ensemble_occupied_final_mean_max']:.3f}] "
+          "(across extreme constant demands)")
+    print("  (for this 1-D model the imprecise bounds provably contain "
+          "the envelope and both saturate the [0, 1] occupancy range; "
+          "the displayed values carry ~2e-3 integrator chatter where "
+          "the drift slides on the boundary)\n")
+
+
 def main():
-    model = make_bike_station_model(arrival_bounds=(0.6, 1.4),
-                                    return_bounds=(0.8, 1.2))
+    arrival_bounds, return_bounds = (0.6, 1.4), (0.8, 1.2)
+    mean_field_overview(arrival_bounds, return_bounds)
+    model = make_bike_station_model(arrival_bounds=arrival_bounds,
+                                    return_bounds=return_bounds)
     population = model.instantiate(N_RACKS, [INITIAL_FILL])
     chain = ImpreciseCTMC(population)
     print(f"station with {N_RACKS} racks, {chain.n_states} chain states, "

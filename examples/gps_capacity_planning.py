@@ -6,8 +6,10 @@ sharing (GPS).  Per-class sending rates are imprecise (``lambda_1 in
 [1, 7]``, ``lambda_2 in [2, 3]``).  This example answers two planning
 questions:
 
-1. *Does the arrival process matter?*  Under Poisson job creation the
-   worst time-varying demand is no worse than the worst constant demand;
+1. *Does the arrival process matter?*  The catalogued ``gps-poisson``
+   and ``gps-map`` scenarios bundle the uncertain envelope and the
+   imprecise Pontryagin bounds per class; under Poisson job creation the
+   worst time-varying demand is no worse than the worst constant demand,
    under MAP creation (an activation stage before sending) a varying
    rate beats every constant one.  Sizing a system from constant-rate
    envelopes is unsafe when arrivals are bursty.
@@ -18,42 +20,44 @@ questions:
 Run:  python examples/gps_capacity_planning.py
 """
 
-import numpy as np
-
 from repro import (
-    extremal_trajectory,
+    Question,
+    get_scenario,
     gps_initial_state_map,
-    gps_initial_state_poisson,
     make_gps_map_model,
-    make_gps_poisson_model,
     render_table,
     robust_minimize_scalar,
-    uncertain_envelope,
+    run_scenario,
 )
 from repro.analysis.robust import worst_case_objective
 
 HORIZON = 5.0
 
 
+def planning_spec(base_name: str):
+    """Derive the catalog entry to the planning ladder (envelope at the
+    horizon + both-sided Pontryagin bounds, per class)."""
+    return get_scenario(base_name).with_overrides(
+        name=f"{base_name}-planning",
+        questions=(
+            Question("envelope", options={"times": [0.0, HORIZON],
+                                          "resolution": 7}),
+            Question("pontryagin", options={"horizons": [HORIZON],
+                                            "steps_per_unit": 40}),
+        ),
+    )
+
+
 def arrival_process_comparison():
     print("1) Worst-case queue build-up: Poisson vs MAP arrivals")
     rows = []
-    for label, model, x0 in (
-        ("Poisson", make_gps_poisson_model(), gps_initial_state_poisson()),
-        ("MAP", make_gps_map_model(), gps_initial_state_map()),
-    ):
+    for label, base in (("Poisson", "gps-poisson"), ("MAP", "gps-map")):
+        result = run_scenario(planning_spec(base)).result
         for name in ("Q1", "Q2"):
-            imprecise = extremal_trajectory(
-                model, x0, HORIZON, model.observables[name], n_steps=200,
-            )
-            env = uncertain_envelope(
-                model, x0, np.array([0.0, HORIZON]), resolution=7,
-                observables=[name],
-            )
-            rows.append([
-                label, name, float(env.upper[name][-1]), imprecise.value,
-                imprecise.value - float(env.upper[name][-1]),
-            ])
+            uncertain = result.findings[f"{name}_uncertain_max_final"]
+            imprecise = result.findings[f"{name}_imprecise_max_final"]
+            rows.append([label, name, uncertain, imprecise,
+                         imprecise - uncertain])
     print(render_table(
         ["arrivals", "class", "max (uncertain)", "max (imprecise)", "gap"],
         rows, float_format="{:.4f}",

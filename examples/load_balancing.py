@@ -21,11 +21,12 @@ Run:  python examples/load_balancing.py
 import numpy as np
 
 from repro import (
+    Question,
     box_directions,
-    extremal_trajectory,
+    get_scenario,
     make_power_of_d_model,
     render_table,
-    uncertain_envelope,
+    run_scenario,
 )
 from repro.steadystate import asymptotic_reachable_hull
 
@@ -34,17 +35,35 @@ HORIZON = 4.0
 ARRIVALS = (0.7, 0.95)
 
 
-def worst_case_backlog(choices: int):
-    model = make_power_of_d_model(buffer_depth=DEPTH, choices=choices,
-                                  arrival_bounds=ARRIVALS)
+def backlog_spec(choices: int):
+    """Derive the catalogued load-balancing scenario to this study's
+    depth-10 configuration and routing degree."""
     x0 = np.zeros(DEPTH)
     x0[0] = 0.5
-    weights = model.observables["mean_queue_length"]
-    imprecise = extremal_trajectory(model, x0, HORIZON, weights, n_steps=200)
-    env = uncertain_envelope(model, x0, np.array([0.0, HORIZON]),
-                             resolution=9,
-                             observables=["mean_queue_length"])
-    return model, x0, imprecise.value, float(env.upper["mean_queue_length"][-1])
+    return get_scenario("load-balancing").with_overrides(
+        name=f"load-balancing-d{choices}",
+        x0=tuple(x0),
+        horizon=HORIZON,
+        model_kwargs={"buffer_depth": DEPTH, "choices": choices,
+                      "arrival_bounds": list(ARRIVALS)},
+        observables=("mean_queue_length",),
+        questions=(
+            Question("envelope", options={"times": [0.0, HORIZON],
+                                          "resolution": 9}),
+            Question("pontryagin", options={"horizons": [HORIZON],
+                                            "steps_per_unit": 50,
+                                            "sides": ["upper"]}),
+        ),
+    )
+
+
+def worst_case_backlog(choices: int):
+    spec = backlog_spec(choices)
+    findings = run_scenario(spec).result.findings
+    model = spec.build_model()
+    return (model, np.asarray(spec.x0),
+            findings["mean_queue_length_imprecise_max_final"],
+            findings["mean_queue_length_uncertain_max_final"])
 
 
 def main():

@@ -35,7 +35,10 @@ Package map (see DESIGN.md for the full inventory):
 - ``repro.engine`` — vectorized multi-trajectory SSA ensembles and
   multiprocessing parameter sweeps;
 - ``repro.analysis`` / ``repro.reporting`` — robust design, convergence
-  studies and harness output.
+  studies and harness output;
+- ``repro.scenarios`` — the declarative scenario catalog, unified
+  analysis dispatch and content-hash result cache behind
+  ``python -m repro``.
 """
 
 from repro.analysis import (
@@ -73,9 +76,12 @@ from repro.models import (
     gps_initial_state_map,
     gps_initial_state_poisson,
     make_bike_station_model,
+    make_cdn_cache_model,
+    make_gossip_model,
     make_gps_map_model,
     make_gps_poisson_model,
     make_power_of_d_model,
+    make_repairable_queue_model,
     make_seir_model,
     make_sir_full_model,
     make_sir_model,
@@ -83,6 +89,14 @@ from repro.models import (
 from repro.params import Box, DiscreteSet, Interval, ParameterSet, Singleton
 from repro.population import FinitePopulation, PopulationModel, Transition
 from repro.reporting import ExperimentResult, Series, render_table
+from repro.scenarios import (
+    Question,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+)
 from repro.simulation import (
     ConstantPolicy,
     FeedbackPolicy,
@@ -99,7 +113,10 @@ from repro.steadystate import (
     uncertain_fixed_points,
 )
 
-__version__ = "1.0.0"
+#: Bump on releases that change any computation backend: the scenario
+#: disk cache stamps entries with this version and treats entries from
+#: other versions as stale (repro.scenarios.cache).
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -112,7 +129,8 @@ __all__ = [
     "make_gps_poisson_model", "make_gps_map_model", "GPS_PAPER_PARAMS",
     "gps_initial_state_poisson", "gps_initial_state_map",
     "make_bike_station_model", "make_seir_model",
-    "make_power_of_d_model",
+    "make_power_of_d_model", "make_gossip_model",
+    "make_repairable_queue_model", "make_cdn_cache_model",
     # mean-field limits
     "mean_field_inclusion", "mean_field_ode", "verify_population_scaling",
     "mean_field_accuracy",
@@ -136,4 +154,7 @@ __all__ = [
     "ensemble_inclusion_fraction",
     "convergence_study", "interval_width_sensitivity",
     "ExperimentResult", "Series", "render_table",
+    # scenario catalog
+    "Question", "ScenarioSpec", "register_scenario", "get_scenario",
+    "list_scenarios", "run_scenario",
 ]

@@ -22,7 +22,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.ode import solve_ode
+from repro.ode import rk4_integrate, solve_ode
 
 __all__ = ["UncertainEnvelope", "uncertain_envelope"]
 
@@ -101,6 +101,8 @@ def uncertain_envelope(
     observables: Optional[Sequence] = None,
     rtol: float = 1e-8,
     atol: float = 1e-10,
+    integrator: str = "adaptive",
+    rk4_steps: int = 400,
 ) -> UncertainEnvelope:
     """Sweep constant parameters and envelope the observables.
 
@@ -119,6 +121,15 @@ def uncertain_envelope(
         Which linear observables to envelope: names of model observables
         or state coordinates, or ``(name, weights)`` pairs.  Defaults to
         the model's declared observables (or raw coordinates).
+    integrator:
+        ``"adaptive"`` (scipy ``solve_ivp``, the accurate default) or
+        ``"rk4"`` (fixed-grid classical RK4 with ``rk4_steps`` steps).
+        Models with *discontinuous* boundary rates — the bike-sharing
+        station, whose drift slides on the occupancy boundary — defeat
+        adaptive error control (the step size collapses on the sliding
+        surface and the solve never returns); the fixed-step integrator
+        crosses the discontinuity with bounded chatter instead, exactly
+        as the Pontryagin forward sweeps do.
     """
     t_eval = np.asarray(t_eval, dtype=float)
     if t_eval.ndim != 1 or t_eval.shape[0] < 1:
@@ -134,9 +145,19 @@ def uncertain_envelope(
     n_t = t_eval.shape[0]
     values = {name: np.empty((thetas.shape[0], n_t)) for name in weights}
     t_span = (float(t_eval[0]), float(t_eval[-1]))
+    if integrator not in ("adaptive", "rk4"):
+        raise ValueError(f"unknown integrator {integrator!r}")
+    rk4_grid = None
+    if integrator == "rk4" and t_span[0] != t_span[1]:
+        rk4_grid = np.union1d(
+            np.linspace(t_span[0], t_span[1], int(rk4_steps) + 1), t_eval
+        )
     for k, theta in enumerate(thetas):
         if t_span[0] == t_span[1]:
             states = np.asarray(x0, float)[None, :].repeat(n_t, axis=0)
+        elif rk4_grid is not None:
+            traj = rk4_integrate(model.vector_field(theta), x0, rk4_grid)
+            states = traj(t_eval)
         else:
             traj = solve_ode(model.vector_field(theta), x0, t_span,
                              t_eval=t_eval, rtol=rtol, atol=atol)

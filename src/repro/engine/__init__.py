@@ -17,12 +17,13 @@ behind ``engine="scalar"`` for differential testing.
 """
 
 from repro.engine.lanes import PolicyLane, build_lane
-from repro.engine.sharding import sweep_constant_ensembles
+from repro.engine.sharding import map_shards, sweep_constant_ensembles
 from repro.engine.vectorized import simulate_ensemble
 
 __all__ = [
     "simulate_ensemble",
     "sweep_constant_ensembles",
+    "map_shards",
     "PolicyLane",
     "build_lane",
 ]

@@ -19,14 +19,34 @@ from __future__ import annotations
 
 import multiprocessing
 import operator
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.engine.vectorized import simulate_ensemble
 from repro.simulation.batch import BatchResult
 
-__all__ = ["sweep_constant_ensembles"]
+__all__ = ["map_shards", "sweep_constant_ensembles"]
+
+
+def map_shards(fn: Callable, payloads: Sequence,
+               processes: Optional[int] = None) -> List:
+    """Map ``fn`` over picklable payloads, optionally across a process pool.
+
+    The shared fan-out primitive of the engine layer: results come back
+    in input order, and ``processes`` of ``None`` / ``1`` (or a single
+    payload) short-circuits to an in-process loop with zero pool
+    overhead.  Both the ensemble parameter sweep below and the scenario
+    runner (:func:`repro.scenarios.run_scenario`) shard through here, so
+    worker-count invariance is tested once for all of them: ``fn`` must
+    be deterministic per payload (any randomness derived from a seed
+    carried *inside* the payload).
+    """
+    payloads = list(payloads)
+    if processes is None or processes <= 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads]
+    with multiprocessing.Pool(processes=min(processes, len(payloads))) as pool:
+        return pool.map(fn, payloads)
 
 
 def _run_shard(payload) -> BatchResult:
@@ -55,7 +75,7 @@ def sweep_constant_ensembles(
     thetas,
     t_final: float,
     n_runs: int,
-    seed: int = 0,
+    seed: Union[int, np.random.SeedSequence] = 0,
     n_samples: int = 200,
     t_start: float = 0.0,
     max_events: int = 50_000_000,
@@ -80,8 +100,10 @@ def sweep_constant_ensembles(
     t_final, n_runs, n_samples, t_start, max_events:
         Forwarded to :func:`~repro.engine.simulate_ensemble` per shard.
     seed:
-        Root seed; shard ``i`` draws from the ``i``-th spawn of
-        ``SeedSequence(seed)``.
+        Root seed (or a pre-built :class:`numpy.random.SeedSequence`);
+        shard ``i`` draws from the ``i``-th spawn of the root sequence,
+        so for a fixed seed the per-shard streams — and therefore the
+        results — are identical regardless of ``processes``.
     processes:
         ``None`` or ``1`` runs the shards serially in-process (no pool
         overhead — the right choice on single-core boxes and inside
@@ -107,14 +129,13 @@ def sweep_constant_ensembles(
     if not callable(model_factory):
         raise TypeError("model_factory must be callable")
     n_runs = operator.index(n_runs)  # reject silent float truncation
-    seed_seqs = np.random.SeedSequence(seed).spawn(theta_grid.shape[0])
+    root = (seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed))
+    seed_seqs = root.spawn(theta_grid.shape[0])
     payloads = [
         (model_factory, dict(model_kwargs or {}), np.asarray(x0, dtype=float),
          int(population_size), theta_grid[i], float(t_final), n_runs,
          seed_seqs[i], int(n_samples), float(t_start), int(max_events))
         for i in range(theta_grid.shape[0])
     ]
-    if processes is None or processes <= 1 or len(payloads) == 1:
-        return [_run_shard(p) for p in payloads]
-    with multiprocessing.Pool(processes=min(processes, len(payloads))) as pool:
-        return pool.map(_run_shard, payloads)
+    return map_shards(_run_shard, payloads, processes)

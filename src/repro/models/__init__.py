@@ -9,9 +9,18 @@
   as the running example of Sections II–III.
 - :mod:`repro.models.seir` — a four-compartment epidemic extension
   demonstrating that the machinery is not tied to the paper's examples.
+- :mod:`repro.models.loadbalancing` — the power-of-``d``-choices
+  supermarket model, the scalability probe.
+- :mod:`repro.models.gossip` / :mod:`repro.models.queueing` /
+  :mod:`repro.models.cdn` — extension workloads for the scenario
+  catalog (:mod:`repro.scenarios`): push–pull gossip spread, a
+  repairable M/M/C service pool, and CDN content placement, each with
+  paper-style imprecise parameters.
 """
 
 from repro.models.bike import make_bike_station_model
+from repro.models.cdn import make_cdn_cache_model
+from repro.models.gossip import make_gossip_model
 from repro.models.gps import (
     GPS_PAPER_PARAMS,
     gps_initial_state_map,
@@ -21,6 +30,7 @@ from repro.models.gps import (
     poisson_rate_from_map,
 )
 from repro.models.loadbalancing import make_power_of_d_model
+from repro.models.queueing import make_repairable_queue_model
 from repro.models.seir import make_seir_model
 from repro.models.sir import (
     SIR_PAPER_PARAMS,
@@ -41,4 +51,7 @@ __all__ = [
     "make_bike_station_model",
     "make_seir_model",
     "make_power_of_d_model",
+    "make_gossip_model",
+    "make_repairable_queue_model",
+    "make_cdn_cache_model",
 ]

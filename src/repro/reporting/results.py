@@ -1,10 +1,10 @@
-"""Experiment result containers and ASCII rendering."""
+"""Experiment result containers, JSON round-trips and ASCII rendering."""
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -35,6 +35,20 @@ class Series:
     def at(self, t: float) -> float:
         """Linear interpolation of the series at time ``t``."""
         return float(np.interp(t, self.times, self.values))
+
+    def to_json_dict(self) -> dict:
+        """The ``{"times": [...], "values": [...]}`` payload of one curve."""
+        return {"times": self.times.tolist(), "values": self.values.tolist()}
+
+    @classmethod
+    def from_json(cls, name: str, payload: dict) -> "Series":
+        """Rebuild a series from its :meth:`to_json_dict` payload."""
+        if not {"times", "values"} <= set(payload):
+            raise ValueError(
+                f"series {name!r}: payload needs 'times' and 'values' keys, "
+                f"got {sorted(payload)}"
+            )
+        return cls(name=name, times=payload["times"], values=payload["values"])
 
 
 @dataclass
@@ -85,14 +99,37 @@ class ExperimentResult:
             "findings": self.findings,
             "notes": self.notes,
             "series": {
-                name: {
-                    "times": s.times.tolist(),
-                    "values": s.values.tolist(),
-                }
-                for name, s in self.series.items()
+                name: s.to_json_dict() for name, s in self.series.items()
             },
         }
         return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, payload: Union[str, dict]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output (text or parsed dict).
+
+        The round-trip is lossless for everything :meth:`to_json` keeps:
+        series become float arrays again, findings floats, parameters stay
+        in their JSON form (arrays/tuples were already listified on the
+        way out).  Required by the :mod:`repro.scenarios` disk cache.
+        """
+        if isinstance(payload, str):
+            payload = json.loads(payload)
+        if not isinstance(payload, dict):
+            raise TypeError("payload must be a JSON object (dict or its text)")
+        for key in ("experiment_id", "title"):
+            if key not in payload:
+                raise ValueError(f"payload is missing the {key!r} field")
+        result = cls(
+            experiment_id=str(payload["experiment_id"]),
+            title=str(payload["title"]),
+            parameters=dict(payload.get("parameters", {})),
+            findings={k: float(v) for k, v in payload.get("findings", {}).items()},
+            notes=[str(n) for n in payload.get("notes", [])],
+        )
+        for name, series_payload in payload.get("series", {}).items():
+            result.series[name] = Series.from_json(name, series_payload)
+        return result
 
     def render(self, time_points: Optional[Sequence[float]] = None) -> str:
         """Fixed-width text block: header, findings, sampled series."""

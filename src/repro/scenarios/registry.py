@@ -1,0 +1,72 @@
+"""The scenario registry.
+
+A plain name → :class:`~repro.scenarios.ScenarioSpec` mapping with
+lazy catalog loading: the built-in catalog
+(:mod:`repro.scenarios.catalog`) self-registers on first lookup, so
+importing :mod:`repro` stays cheap and user code can register its own
+scenarios before or after the built-ins land.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["register_scenario", "get_scenario", "list_scenarios"]
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+_CATALOG_LOADED = False
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a spec to the registry; returns it for chaining.
+
+    Re-registering an existing name raises unless ``replace=True`` —
+    silent shadowing of a catalog entry is almost always a bug.
+    """
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError("register_scenario expects a ScenarioSpec")
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and not replace:
+        if existing == spec:
+            return spec  # identical re-registration is a harmless no-op
+        raise ValueError(
+            f"scenario {spec.name!r} is already registered; "
+            "pass replace=True to override"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_catalog():
+    global _CATALOG_LOADED
+    if not _CATALOG_LOADED:
+        # Importing the module runs its register_scenario() calls.  The
+        # flag is only set on success: a failed import (e.g. a user spec
+        # shadowing a built-in name) propagates its real cause here and
+        # the next lookup retries instead of serving a poisoned,
+        # partially-loaded catalog forever.
+        import repro.scenarios.catalog  # noqa: F401
+        _CATALOG_LOADED = True
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    _ensure_catalog()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(
+            f"unknown scenario {name!r}; registered scenarios: {known}"
+        ) from None
+
+
+def list_scenarios(tag: Optional[str] = None) -> List[ScenarioSpec]:
+    """All registered scenarios (optionally filtered by tag), sorted by name."""
+    _ensure_catalog()
+    specs = sorted(_REGISTRY.values(), key=lambda s: s.name)
+    if tag is not None:
+        specs = [s for s in specs if tag in s.tags]
+    return specs

@@ -1,0 +1,486 @@
+"""The scenario runner: question dispatch, fan-out and caching.
+
+``run_scenario`` is the one entry point behind which every analysis of
+the library is reachable declaratively:
+
+========== ==========================================================
+question   backend
+========== ==========================================================
+envelope   :func:`repro.bounds.uncertain_envelope`
+pontryagin :func:`repro.bounds.pontryagin_transient_bounds`
+hull       :func:`repro.bounds.differential_hull_bounds`
+template   :func:`repro.bounds.template_reachable_bounds`
+steadystate :func:`repro.steadystate.hull_steady_rectangle` (+ the 2-D
+            Birkhoff construction and uncertain fixed points)
+ensemble   :func:`repro.engine.sweep_constant_ensembles` (vectorized
+           finite-``N`` SSA, sharded)
+========== ==========================================================
+
+Questions are independent, so with ``processes > 1`` they fan out over
+the same :func:`repro.engine.map_shards` pool primitive the ensemble
+sweep uses.  Payloads carry the :class:`ScenarioSpec` itself — specs
+hold a *module-level* factory plus plain data, so they pickle under any
+start method and ad-hoc (unregistered) specs shard just as well as
+catalog entries.
+
+Results are memoized in a content-hash disk cache
+(:mod:`repro.scenarios.cache`): the spec hash keys a serialized
+:class:`~repro.reporting.ExperimentResult`, so a repeated ``run`` is
+served in milliseconds and the :class:`RunReport` says so via its
+cache-hit counter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.bounds import (
+    box_directions,
+    differential_hull_bounds,
+    octagon_directions,
+    pontryagin_transient_bounds,
+    template_reachable_bounds,
+    uncertain_envelope,
+)
+from repro.bounds.sweep import _resolve_weights
+from repro.engine import map_shards, sweep_constant_ensembles
+from repro.reporting import ExperimentResult
+from repro.scenarios import cache as _cache
+from repro.scenarios.spec import Question, ScenarioSpec
+from repro.steadystate import (
+    birkhoff_centre_2d,
+    hull_steady_rectangle,
+    uncertain_fixed_points,
+)
+
+__all__ = ["AnalysisPlan", "RunReport", "ScenarioRun", "run_scenario",
+           "run_question"]
+
+
+# ----------------------------------------------------------------------
+# Question outcomes
+# ----------------------------------------------------------------------
+
+@dataclass
+class QuestionOutcome:
+    """Series/findings/notes one question contributes to the result."""
+
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    findings: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+
+def _resolve_observables(model, spec: ScenarioSpec) -> Dict[str, np.ndarray]:
+    """``name -> weight`` map of the observables transient questions target.
+
+    Delegates to the same resolver the envelope backend uses, so every
+    question kind agrees on what a spec's observable names mean.
+    """
+    return _resolve_weights(model, list(spec.observables) or None)
+
+
+def _run_envelope(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+    opts = q.opts
+    times = opts.get("times")
+    if times is None:
+        times = np.linspace(0.0, spec.horizon, int(opts.get("n_times", 9)))
+    times = np.asarray(times, dtype=float)
+    observables = list(spec.observables) or None
+    kwargs = {}
+    for key in ("integrator", "rk4_steps", "rtol", "atol"):
+        if key in opts:
+            kwargs[key] = opts[key]
+    env = uncertain_envelope(
+        model, spec.x0, times,
+        resolution=int(opts.get("resolution", 7)),
+        observables=observables,
+        **kwargs,
+    )
+    out = QuestionOutcome()
+    for name in env.observable_names:
+        out.series[q.prefixed(f"{name}_uncertain_lower")] = (times, env.lower[name])
+        out.series[q.prefixed(f"{name}_uncertain_upper")] = (times, env.upper[name])
+        lo, hi = env.final_bounds(name)
+        out.findings[q.prefixed(f"{name}_uncertain_min_final")] = lo
+        out.findings[q.prefixed(f"{name}_uncertain_max_final")] = hi
+    return out
+
+
+def _run_pontryagin(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+    opts = q.opts
+    horizons = opts.get("horizons")
+    if horizons is None:
+        n = int(opts.get("n_horizons", 8))
+        horizons = np.linspace(spec.horizon / n, spec.horizon, n)
+    horizons = np.asarray(horizons, dtype=float)
+    kwargs = {}
+    for key in ("steps_per_unit", "min_steps", "max_iter", "tol"):
+        if key in opts:
+            kwargs[key] = opts[key]
+    if "sides" in opts:
+        kwargs["sides"] = tuple(opts["sides"])
+    observables = list(spec.observables) or None
+    bounds = pontryagin_transient_bounds(
+        model, spec.x0, horizons, observables=observables, **kwargs
+    )
+    out = QuestionOutcome()
+    for name in bounds.observable_names:
+        lower, upper = bounds.lower[name], bounds.upper[name]
+        if np.isfinite(lower).any():
+            out.series[q.prefixed(f"{name}_imprecise_lower")] = (horizons, lower)
+            out.findings[q.prefixed(f"{name}_imprecise_min_final")] = lower[-1]
+        if np.isfinite(upper).any():
+            out.series[q.prefixed(f"{name}_imprecise_upper")] = (horizons, upper)
+            out.findings[q.prefixed(f"{name}_imprecise_max_final")] = upper[-1]
+    return out
+
+
+def _run_hull(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+    opts = q.opts
+    times = opts.get("times")
+    if times is None:
+        times = np.linspace(0.0, spec.horizon, int(opts.get("n_times", 13)))
+    times = np.asarray(times, dtype=float)
+    kwargs = {}
+    for key in ("x_samples_per_axis", "blowup_threshold", "rtol", "atol"):
+        if key in opts:
+            kwargs[key] = opts[key]
+    hull = differential_hull_bounds(model, spec.x0, times, **kwargs)
+    out = QuestionOutcome()
+    for i, name in enumerate(model.state_names):
+        out.series[q.prefixed(f"hull_{name}_lower")] = (times, hull.lower[:, i])
+        out.series[q.prefixed(f"hull_{name}_upper")] = (times, hull.upper[:, i])
+        out.findings[q.prefixed(f"hull_{name}_width_final")] = hull.width(i)[-1]
+        if model.state_lower is not None:
+            out.findings[q.prefixed(f"hull_{name}_trivial")] = float(
+                hull.is_trivial(i, model.state_lower[i], model.state_upper[i])
+            )
+    return out
+
+
+def _run_template(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+    opts = q.opts
+    family = str(opts.get("family", "box"))
+    if family == "box":
+        directions = box_directions(model.dim)
+    elif family == "octagon":
+        directions = octagon_directions(model.dim)
+    else:
+        raise ValueError(f"unknown template family {family!r}")
+    kwargs = {}
+    for key in ("n_steps", "max_iter"):
+        if key in opts:
+            kwargs[key] = int(opts[key])
+    polytope = template_reachable_bounds(
+        model, spec.x0, float(opts.get("horizon", spec.horizon)),
+        directions=directions, **kwargs
+    )
+    out = QuestionOutcome()
+    box = polytope.bounding_box()
+    if box is not None:
+        lower, upper = box
+        for i, name in enumerate(model.state_names):
+            out.findings[q.prefixed(f"template_{name}_lower")] = lower[i]
+            out.findings[q.prefixed(f"template_{name}_upper")] = upper[i]
+    out.findings[q.prefixed("template_halfspaces")] = polytope.n_halfspaces
+    return out
+
+
+def _run_steadystate(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+    opts = q.opts
+    out = QuestionOutcome()
+    rect = hull_steady_rectangle(
+        model, spec.x0, horizon=float(opts.get("horizon", max(spec.horizon, 50.0)))
+    )
+    out.findings[q.prefixed("steady_hull_converged")] = float(rect.converged)
+    for i, name in enumerate(model.state_names):
+        out.findings[q.prefixed(f"steady_hull_{name}_lower")] = rect.lower[i]
+        out.findings[q.prefixed(f"steady_hull_{name}_upper")] = rect.upper[i]
+    if not rect.converged:
+        out.notes.append(
+            "stationary hull rectangle did not converge (the 'trivial "
+            "hull' regime of Fig. 5); Birkhoff region remains informative"
+        )
+    if model.dim == 2 and bool(opts.get("birkhoff", True)):
+        region = birkhoff_centre_2d(
+            model,
+            x0_guess=opts.get("x0_guess"),
+            max_rounds=int(opts.get("max_rounds", 120)),
+        )
+        area = 0.0 if region.polygon is None else float(region.polygon.area)
+        out.findings[q.prefixed("birkhoff_area")] = area
+        out.findings[q.prefixed("birkhoff_certified")] = float(region.certified)
+        out.findings[q.prefixed("birkhoff_rounds")] = float(region.rounds)
+        curve = uncertain_fixed_points(
+            model, resolution=int(opts.get("fp_resolution", 11)),
+            x0_guess=opts.get("x0_guess"),
+        )
+        inside = sum(region.contains(fp, tol=1e-3) for fp in curve)
+        out.findings[q.prefixed("uncertain_fp_inside_region")] = float(inside)
+        out.findings[q.prefixed("uncertain_fp_total")] = float(curve.shape[0])
+        vertices = (np.empty((0, model.dim)) if region.polygon is None
+                    else region.polygon.vertices)
+        rect_tol = float(opts.get("rect_tol", 1e-2))
+        out.findings[q.prefixed("birkhoff_inside_steady_rect")] = float(
+            all(rect.contains(v, tol=rect_tol) for v in vertices)
+        )
+    return out
+
+
+def _run_ensemble(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+    opts = q.opts
+    resolution = opts.get("resolution")
+    if resolution is None:
+        thetas = model.theta_set.corners()
+    else:
+        thetas = model.theta_set.grid(int(resolution))
+    population_size = int(opts.get("population_size", 200))
+    n_samples = int(opts.get("n_samples", 50))
+    results = sweep_constant_ensembles(
+        spec.model_factory,
+        spec.x0,
+        population_size,
+        thetas,
+        t_final=float(opts.get("horizon", spec.horizon)),
+        n_runs=int(opts.get("n_runs", 16)),
+        seed=int(opts.get("seed", 2016)),
+        n_samples=n_samples,
+        model_kwargs=spec.kwargs,
+    )
+    weights = _resolve_observables(model, spec)
+    out = QuestionOutcome()
+    for name, w in weights.items():
+        paths = [batch.observable(w) for batch in results]
+        finals = np.array([float(p[:, -1].mean()) for p in paths])
+        worst = int(np.argmax(finals))
+        best = int(np.argmin(finals))
+        out.findings[q.prefixed(f"ensemble_{name}_final_mean_min")] = finals[best]
+        out.findings[q.prefixed(f"ensemble_{name}_final_mean_max")] = finals[worst]
+        out.series[q.prefixed(f"ensemble_{name}_mean_worst_theta")] = (
+            results[worst].times, paths[worst].mean(axis=0)
+        )
+    out.findings[q.prefixed("ensemble_population_size")] = float(population_size)
+    out.findings[q.prefixed("ensemble_theta_points")] = float(thetas.shape[0] if thetas.ndim == 2 else len(thetas))
+    out.findings[q.prefixed("ensemble_total_events")] = float(
+        sum(batch.n_events for batch in results)
+    )
+    return out
+
+
+_BACKENDS = {
+    "envelope": _run_envelope,
+    "pontryagin": _run_pontryagin,
+    "hull": _run_hull,
+    "template": _run_template,
+    "steadystate": _run_steadystate,
+    "ensemble": _run_ensemble,
+}
+
+
+def run_question(spec: ScenarioSpec, question: Question,
+                 model=None) -> QuestionOutcome:
+    """Run one question of a spec (building the model when not supplied)."""
+    if model is None:
+        model = spec.build_model()
+    return _BACKENDS[question.kind](model, spec, question)
+
+
+def _run_question_payload(payload) -> QuestionOutcome:
+    """Pool worker: run one question of a (pickled) spec."""
+    spec, index = payload
+    return run_question(spec, spec.questions[index])
+
+
+# ----------------------------------------------------------------------
+# Plans, reports and the entry point
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AnalysisPlan:
+    """How to execute a spec: caching, fan-out and question selection."""
+
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+    processes: Optional[int] = None
+    kinds: Optional[Tuple[str, ...]] = None  # run only these question kinds
+
+    def select(self, spec: ScenarioSpec) -> ScenarioSpec:
+        """The spec this plan actually runs (possibly fewer questions)."""
+        if self.kinds is None:
+            return spec
+        kept = tuple(q for q in spec.questions if q.kind in self.kinds)
+        if not kept:
+            raise ValueError(
+                f"scenario {spec.name!r} has no questions of kinds "
+                f"{self.kinds}"
+            )
+        if len(kept) == len(spec.questions):
+            return spec
+        return spec.with_overrides(questions=kept)
+
+
+@dataclass
+class RunReport:
+    """Provenance and cache accounting of one ``run_scenario`` call."""
+
+    scenario: str
+    spec_hash: str
+    cache_hit: bool
+    cache_hits: int
+    cache_misses: int
+    elapsed_seconds: float
+    questions_run: int
+    cache_path: Optional[str] = None
+
+    def render(self) -> str:
+        lines = [
+            f"run report: scenario={self.scenario} spec={self.spec_hash}",
+            f"  cache_hit={'true' if self.cache_hit else 'false'} "
+            f"(hits={self.cache_hits}, misses={self.cache_misses})",
+            f"  questions_run={self.questions_run} "
+            f"elapsed={self.elapsed_seconds:.3f}s",
+        ]
+        if self.cache_path:
+            lines.append(f"  cache_path={self.cache_path}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ScenarioRun:
+    """A completed scenario: the result plus its run report."""
+
+    spec: ScenarioSpec
+    result: ExperimentResult
+    report: RunReport
+
+
+def run_scenario(
+    spec_or_name: Union[str, ScenarioSpec],
+    plan: Optional[AnalysisPlan] = None,
+    *,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    processes: Optional[int] = None,
+) -> ScenarioRun:
+    """Run (or recall) every question of a scenario.
+
+    Parameters
+    ----------
+    spec_or_name:
+        A registered scenario name or an ad-hoc :class:`ScenarioSpec`.
+    plan:
+        Execution policy; the keyword arguments below override its
+        fields (and default to ``AnalysisPlan()`` when omitted).
+    use_cache:
+        Serve/store the content-hash disk cache (default ``True``).
+    cache_dir:
+        Cache directory override (default: ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro-scenarios``).
+    processes:
+        Fan independent questions over a process pool (the spec itself
+        is shipped to the workers; ad-hoc specs shard like catalog
+        entries).
+
+    Returns
+    -------
+    A :class:`ScenarioRun` whose ``result`` is the assembled
+    :class:`~repro.reporting.ExperimentResult` and whose ``report``
+    carries the cache-hit counters.
+    """
+    if plan is None:
+        plan = AnalysisPlan()
+    overrides = {
+        key: value
+        for key, value in (("use_cache", use_cache), ("cache_dir", cache_dir),
+                           ("processes", processes))
+        if value is not None
+    }
+    if overrides:
+        plan = dataclasses.replace(plan, **overrides)
+
+    if isinstance(spec_or_name, str):
+        from repro.scenarios.registry import get_scenario
+
+        spec = get_scenario(spec_or_name)
+    else:
+        spec = spec_or_name
+    spec = plan.select(spec)
+
+    start = time.perf_counter()
+    if plan.use_cache:
+        cached = _cache.load_cached(spec, plan.cache_dir)
+        if cached is not None:
+            # The cache is content-addressed, so a differently-*named*
+            # variant can hit an entry stored under another label;
+            # restamp the identity fields from the requesting spec.
+            cached.experiment_id = spec.name
+            cached.title = spec.title
+            report = RunReport(
+                scenario=spec.name,
+                spec_hash=spec.spec_hash(),
+                cache_hit=True,
+                cache_hits=1,
+                cache_misses=0,
+                elapsed_seconds=time.perf_counter() - start,
+                questions_run=0,
+                cache_path=str(_cache.cache_path(spec, plan.cache_dir)),
+            )
+            return ScenarioRun(spec=spec, result=cached, report=report)
+
+    result = ExperimentResult(
+        experiment_id=spec.name,
+        title=spec.title,
+        parameters={
+            "model": spec.factory_ref,
+            **{f"model.{k}": v for k, v in spec.kwargs.items()},
+            "x0": list(spec.x0),
+            "horizon": spec.horizon,
+            "spec_hash": spec.spec_hash(),
+        },
+    )
+
+    parallel_ok = (
+        plan.processes is not None and plan.processes > 1
+        and len(spec.questions) > 1
+    )
+    if parallel_ok:
+        payloads = [(spec, i) for i in range(len(spec.questions))]
+        outcomes = map_shards(_run_question_payload, payloads, plan.processes)
+    else:
+        model = spec.build_model()
+        outcomes = [run_question(spec, q, model=model) for q in spec.questions]
+
+    for outcome in outcomes:
+        for name, (times, values) in outcome.series.items():
+            result.add_series(name, times, values)
+        for name, value in outcome.findings.items():
+            result.add_finding(name, value)
+        for note in outcome.notes:
+            result.add_note(note)
+
+    elapsed = time.perf_counter() - start
+    path: Optional[str] = None
+    if plan.use_cache:
+        try:
+            path = str(_cache.store_result(spec, result, plan.cache_dir))
+        except OSError:
+            # An unwritable cache (read-only home, missing $HOME, full
+            # disk) must not discard a computation that already
+            # succeeded — the run degrades to uncached.
+            path = None
+    report = RunReport(
+        scenario=spec.name,
+        spec_hash=spec.spec_hash(),
+        cache_hit=False,
+        cache_hits=0,
+        cache_misses=1,
+        elapsed_seconds=elapsed,
+        questions_run=len(spec.questions),
+        cache_path=path,
+    )
+    return ScenarioRun(spec=spec, result=result, report=report)

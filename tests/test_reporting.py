@@ -68,6 +68,46 @@ class TestExperimentResult:
         assert payload["parameters"]["num"] == 3.5
         assert payload["parameters"]["tup"] == [1, 2]
 
+    def test_from_json_roundtrip_is_lossless(self):
+        original = self.make()
+        rebuilt = ExperimentResult.from_json(original.to_json())
+        assert rebuilt.experiment_id == original.experiment_id
+        assert rebuilt.title == original.title
+        assert rebuilt.parameters == original.parameters
+        assert rebuilt.findings == pytest.approx(original.findings)
+        assert rebuilt.notes == original.notes
+        assert set(rebuilt.series) == set(original.series)
+        for name, series in original.series.items():
+            np.testing.assert_array_equal(series.times,
+                                          rebuilt.series[name].times)
+            np.testing.assert_array_equal(series.values,
+                                          rebuilt.series[name].values)
+        # A second trip is byte-identical (the round trip is a fixpoint).
+        assert rebuilt.to_json() == ExperimentResult.from_json(
+            rebuilt.to_json()
+        ).to_json()
+
+    def test_from_json_accepts_parsed_dicts(self):
+        payload = json.loads(self.make().to_json())
+        rebuilt = ExperimentResult.from_json(payload)
+        assert rebuilt.series["upper"].final == pytest.approx(0.2)
+
+    def test_from_json_preserves_nonfinite_values(self):
+        result = ExperimentResult("h", "hull blow-up")
+        result.add_series("upper", [0.0, 1.0], [1.0, np.inf])
+        result.add_finding("width", np.inf)
+        rebuilt = ExperimentResult.from_json(result.to_json())
+        assert np.isposinf(rebuilt.series["upper"].values[-1])
+        assert np.isposinf(rebuilt.findings["width"])
+
+    def test_from_json_rejects_malformed_payloads(self):
+        with pytest.raises(ValueError, match="experiment_id"):
+            ExperimentResult.from_json({"title": "missing id"})
+        with pytest.raises(TypeError):
+            ExperimentResult.from_json(["not", "a", "dict"])
+        with pytest.raises(ValueError, match="times"):
+            Series.from_json("s", {"values": [1.0]})
+
 
 class TestRenderTable:
     def test_alignment_and_rule(self):

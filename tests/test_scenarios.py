@@ -1,0 +1,384 @@
+"""Tests for the declarative scenario subsystem (repro.scenarios)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.reporting import ExperimentResult
+from repro.scenarios import (
+    Question,
+    ScenarioSpec,
+    cache_path,
+    get_scenario,
+    list_scenarios,
+    run_question,
+    run_scenario,
+)
+from repro.__main__ import main as cli_main
+from repro.models import make_sir_model
+
+#: The Fig. 1 golden pins of tests/test_golden_figures.py — the
+#: sir-transient scenario must reproduce them through the pipeline.
+FIG1_HORIZONS = np.array([0.5, 1.0, 2.0, 3.0])
+FIG1_LOWER_I = np.array(
+    [0.048982884308, 0.020967067308, 0.015721987839, 0.016318643199]
+)
+FIG1_UPPER_I = np.array(
+    [0.200374571356, 0.142585013127, 0.157089504406, 0.170538327409]
+)
+
+
+class TestCatalog:
+    def test_catalog_has_at_least_eight_scenarios(self):
+        specs = list_scenarios()
+        assert len(specs) >= 8
+        names = [s.name for s in specs]
+        assert len(set(names)) == len(names)
+
+    def test_every_scenario_describes_itself(self):
+        for spec in list_scenarios():
+            text = spec.describe()
+            assert spec.name in text
+            for q in spec.questions:
+                assert q.kind in text
+
+    def test_tag_filter(self):
+        paper = list_scenarios(tag="paper")
+        assert paper and all("paper" in s.tags for s in paper)
+        assert len(paper) < len(list_scenarios())
+
+    def test_new_models_are_catalogued(self):
+        names = {s.name for s in list_scenarios()}
+        assert {"gossip-spread", "repairable-queue", "cdn-cache"} <= names
+
+    def test_unknown_scenario_lists_known_names(self):
+        with pytest.raises(KeyError, match="sir-transient"):
+            get_scenario("definitely-not-registered")
+
+    def test_identical_reregistration_is_a_noop(self):
+        from repro.scenarios import register_scenario
+
+        spec = get_scenario("sir-transient")
+        assert register_scenario(spec) is spec  # no ValueError
+
+    def test_conflicting_registration_raises(self):
+        from repro.scenarios import register_scenario
+        from repro.scenarios.registry import _REGISTRY
+
+        fresh = get_scenario("sir-transient").with_overrides(
+            name="conflict-probe")
+        register_scenario(fresh)
+        try:
+            different = fresh.with_overrides(horizon=9.0)
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(different)
+            register_scenario(different, replace=True)
+            assert get_scenario("conflict-probe").horizon == 9.0
+        finally:
+            _REGISTRY.pop("conflict-probe", None)
+
+
+class TestSpec:
+    def test_unknown_question_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown question kind"):
+            Question("frobnicate")
+
+    def test_duplicate_kinds_need_labels(self):
+        with pytest.raises(ValueError, match="distinct labels"):
+            ScenarioSpec(
+                name="x", title="t", model_factory=make_sir_model,
+                x0=(0.7, 0.3), horizon=1.0,
+                questions=(Question("hull"), Question("hull")),
+            )
+
+    def test_hash_is_content_addressed_not_name_addressed(self):
+        base = get_scenario("sir-transient")
+        renamed = base.with_overrides(name="anything-else")
+        assert renamed.spec_hash() == base.spec_hash()
+        retuned = base.with_overrides(model_kwargs={"theta_max": 12.0})
+        assert retuned.spec_hash() != base.spec_hash()
+        shortened = base.with_overrides(horizon=2.0)
+        assert shortened.spec_hash() != base.spec_hash()
+
+    def test_hash_stable_across_reconstruction(self):
+        spec1 = ScenarioSpec(
+            name="a", title="t", model_factory=make_sir_model,
+            x0=(0.7, 0.3), horizon=1.0,
+            model_kwargs={"theta_max": 5.0, "a": 0.1},
+            questions=(Question("hull", options={"n_times": 5}),),
+        )
+        spec2 = ScenarioSpec(
+            name="b", title="other", model_factory=make_sir_model,
+            x0=[0.7, 0.3], horizon=1.0,
+            model_kwargs={"a": 0.1, "theta_max": 5.0},  # different order
+            questions=(Question("hull", options={"n_times": 5}),),
+        )
+        assert spec1.spec_hash() == spec2.spec_hash()
+
+    def test_with_overrides_merges_model_kwargs(self):
+        base = get_scenario("sir-steadystate")  # theta_max=4.0
+        derived = base.with_overrides(model_kwargs={"theta_min": 2.0})
+        assert derived.kwargs == {"theta_max": 4.0, "theta_min": 2.0}
+        dropped = derived.with_overrides(model_kwargs={"theta_max": None})
+        assert dropped.kwargs == {"theta_min": 2.0}
+
+    def test_question_options_thaw_to_plain_dicts(self):
+        q = Question("envelope", options={"times": [0.0, 1.0], "resolution": 3})
+        assert q.opts == {"times": [0.0, 1.0], "resolution": 3}
+
+    def test_dict_valued_options_and_kwargs_survive_the_freeze(self):
+        q = Question("envelope", options={"nested": {"rtol": 1e-6,
+                                                     "grid": [1, 2]}})
+        assert q.opts == {"nested": {"rtol": 1e-6, "grid": [1, 2]}}
+        spec = ScenarioSpec(
+            name="x", title="t", model_factory=make_sir_model,
+            x0=(0.7, 0.3), horizon=1.0,
+            model_kwargs={"table": {"a": [1.0, 2.0], "b": {"c": 3}}},
+            questions=(Question("hull"),),
+        )
+        assert spec.kwargs == {"table": {"a": [1.0, 2.0], "b": {"c": 3}}}
+
+
+class TestRunScenario:
+    def test_sir_transient_reproduces_fig1_golden_pins(self, tmp_path):
+        run = run_scenario("sir-transient", cache_dir=str(tmp_path))
+        assert not run.report.cache_hit
+        lower = run.result.series["I_imprecise_lower"]
+        upper = run.result.series["I_imprecise_upper"]
+        np.testing.assert_allclose(lower.times, FIG1_HORIZONS)
+        np.testing.assert_allclose(lower.values, FIG1_LOWER_I,
+                                   rtol=1e-4, atol=1e-8)
+        np.testing.assert_allclose(upper.values, FIG1_UPPER_I,
+                                   rtol=1e-4, atol=1e-8)
+        # The uncertain envelope sits inside the imprecise bounds.
+        env_upper = run.result.series["I_uncertain_upper"]
+        for t, hi in zip(FIG1_HORIZONS, upper.values):
+            assert env_upper.at(t) <= hi + 1e-6
+
+    def test_second_run_is_a_cache_hit_with_identical_payload(self, tmp_path):
+        first = run_scenario("sir-transient", cache_dir=str(tmp_path))
+        second = run_scenario("sir-transient", cache_dir=str(tmp_path))
+        assert second.report.cache_hit
+        assert second.report.cache_hits == 1
+        assert second.report.cache_misses == 0
+        assert second.report.questions_run == 0
+        assert set(second.result.series) == set(first.result.series)
+        for name, series in first.result.series.items():
+            np.testing.assert_array_equal(series.times,
+                                          second.result.series[name].times)
+            np.testing.assert_array_equal(series.values,
+                                          second.result.series[name].values)
+        assert second.result.findings == pytest.approx(first.result.findings)
+
+    def test_override_invalidates_cache(self, tmp_path):
+        base = get_scenario("bike-station")
+        run_scenario(base, cache_dir=str(tmp_path))
+        derived = base.with_overrides(horizon=3.0, questions=(
+            Question("pontryagin", options={"horizons": [1.0, 3.0],
+                                            "steps_per_unit": 30}),
+        ))
+        run = run_scenario(derived, cache_dir=str(tmp_path))
+        assert not run.report.cache_hit
+
+    def test_no_cache_mode_writes_nothing(self, tmp_path):
+        run = run_scenario("bike-station", use_cache=False,
+                           cache_dir=str(tmp_path))
+        assert not run.report.cache_hit
+        assert run.report.cache_path is None
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        spec = get_scenario("bike-station")
+        path = cache_path(spec, str(tmp_path))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json at all")
+        run = run_scenario(spec, cache_dir=str(tmp_path))
+        assert not run.report.cache_hit
+        # ... and the entry was repaired in passing.
+        rerun = run_scenario(spec, cache_dir=str(tmp_path))
+        assert rerun.report.cache_hit
+
+    def test_parallel_questions_match_serial(self, tmp_path):
+        serial = run_scenario("bike-station", use_cache=False)
+        parallel = run_scenario("bike-station", use_cache=False, processes=2)
+        assert serial.result.findings == pytest.approx(
+            parallel.result.findings
+        )
+        for name, series in serial.result.series.items():
+            np.testing.assert_array_equal(
+                series.values, parallel.result.series[name].values
+            )
+
+    def test_parallel_works_for_unregistered_adhoc_specs(self):
+        """The pool payload carries the spec itself, so ad-hoc variants
+        shard too (and nothing depends on worker-side registry state)."""
+        spec = get_scenario("bike-station").with_overrides(
+            name="adhoc-bike-variant", horizon=3.0)
+        serial = run_scenario(spec, use_cache=False)
+        parallel = run_scenario(spec, use_cache=False, processes=2)
+        assert parallel.result.findings == pytest.approx(
+            serial.result.findings
+        )
+
+    def test_cache_hit_restamps_renamed_variant(self, tmp_path):
+        base = get_scenario("bike-station")
+        run_scenario(base, cache_dir=str(tmp_path))
+        renamed = base.with_overrides(name="bike-renamed",
+                                      title="renamed variant")
+        hit = run_scenario(renamed, cache_dir=str(tmp_path))
+        assert hit.report.cache_hit  # content-addressed: same hash
+        assert hit.result.experiment_id == "bike-renamed"
+        assert hit.result.title == "renamed variant"
+
+    def test_bike_imprecise_bounds_contain_envelope(self):
+        """Regression: coarse Pontryagin grids on the sliding-boundary
+        bike model used to report 'exact' bounds tighter than the
+        constant-theta envelope."""
+        run = run_scenario("bike-station", use_cache=False)
+        f = run.result.findings
+        slack = 1e-9
+        assert (f["occupied_imprecise_max_final"]
+                >= f["occupied_uncertain_max_final"] - slack)
+        assert (f["occupied_imprecise_min_final"]
+                <= f["occupied_uncertain_min_final"] + slack)
+
+    @pytest.mark.slow
+    def test_bike_containment_at_example_demand_set(self):
+        """The widened demand set of examples/bike_sharing.py: both
+        bound families chatter at O(dt) where the drift slides on the
+        occupancy boundary, so containment is pinned up to the
+        discretisation tolerance (a true inversion shows at 1e-1).
+        Tier-2: the wide interval makes the Pontryagin sweeps slow."""
+        spec = get_scenario("bike-station").with_overrides(
+            name="bike-example-set",
+            model_kwargs={"arrival_bounds": [0.6, 1.4],
+                          "return_bounds": [0.8, 1.2]},
+        )
+        f = run_scenario(spec, use_cache=False).result.findings
+        chatter = 2.5e-3
+        assert (f["occupied_imprecise_max_final"]
+                >= f["occupied_uncertain_max_final"] - chatter)
+        assert (f["occupied_imprecise_min_final"]
+                <= f["occupied_uncertain_min_final"] + chatter)
+        # ... and nothing strays meaningfully outside the physical range.
+        assert -chatter <= f["occupied_imprecise_min_final"]
+        assert f["occupied_imprecise_max_final"] <= 1.0 + chatter
+
+    def test_ensemble_question_is_seed_deterministic(self):
+        spec = get_scenario("bike-station")
+        question = next(q for q in spec.questions if q.kind == "ensemble")
+        a = run_question(spec, question)
+        b = run_question(spec, question)
+        assert a.findings == b.findings
+
+    def test_cache_entry_from_other_library_version_is_stale(
+            self, tmp_path, monkeypatch):
+        """An upgrade must not keep serving numbers computed by old
+        backend code, even for an unchanged spec."""
+        run_scenario("bike-station", cache_dir=str(tmp_path))
+        import repro
+        monkeypatch.setattr(repro, "__version__", "0.0.0-other")
+        rerun = run_scenario("bike-station", cache_dir=str(tmp_path))
+        assert not rerun.report.cache_hit
+
+    def test_store_leaves_no_temp_debris_and_clear_sweeps_it(self, tmp_path):
+        from repro.scenarios import clear_cache
+
+        run_scenario("bike-station", cache_dir=str(tmp_path))
+        assert list(tmp_path.glob("*.tmp")) == []
+        (tmp_path / "deadbeef.tmp").write_text("crashed writer debris")
+        clear_cache(str(tmp_path))
+        assert list(tmp_path.glob("*")) == []
+
+    def test_clear_cache_removes_corrupt_entries_but_not_user_files(
+            self, tmp_path):
+        from repro.scenarios import clear_cache
+
+        corrupt = tmp_path / ("ab" * 8 + ".json")  # hash-named, truncated
+        corrupt.write_text("{truncated")
+        user_file = tmp_path / "package.json"
+        user_file.write_text('{"name": "not-a-cache-entry"}')
+        schema_config = tmp_path / "config.json"  # JSON-schema'd config
+        schema_config.write_text('{"schema": "http://example/v1", "x": 1}')
+        assert clear_cache(str(tmp_path)) == 1
+        assert not corrupt.exists()
+        assert user_file.exists()
+        assert schema_config.exists()
+
+    def test_cli_clear_cache_by_name_drops_aliased_entries(
+            self, tmp_path, capsys):
+        """Deletion mirrors the content-addressed lookup: the entry that
+        would serve a scenario is dropped even when it was stored under
+        a renamed variant."""
+        base = get_scenario("bike-station")
+        run_scenario(base.with_overrides(name="bike-alias"),
+                     cache_dir=str(tmp_path))
+        assert cli_main(["clear-cache", "bike-station",
+                         "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        fresh = run_scenario(base, cache_dir=str(tmp_path))
+        assert not fresh.report.cache_hit
+
+    def test_cached_result_roundtrips_through_json(self, tmp_path):
+        run = run_scenario("bike-station", cache_dir=str(tmp_path))
+        payload = json.loads(
+            cache_path(run.spec, str(tmp_path)).read_text()
+        )
+        rebuilt = ExperimentResult.from_json(payload["result"])
+        assert rebuilt.experiment_id == run.result.experiment_id
+        assert rebuilt.findings == pytest.approx(run.result.findings)
+
+
+class TestCLI:
+    def test_list_shows_catalog(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sir-transient" in out
+        assert out.count("\n") >= 8
+
+    def test_list_tag_filter(self, capsys):
+        assert cli_main(["list", "--tag", "new-model"]) == 0
+        out = capsys.readouterr().out
+        assert "gossip-spread" in out
+        assert "sir-transient" not in out
+
+    def test_describe(self, capsys):
+        assert cli_main(["describe", "cdn-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "make_cdn_cache_model" in out
+        assert "spec hash" in out
+
+    def test_describe_unknown_is_an_error(self, capsys):
+        assert cli_main(["describe", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_twice_reports_cache_hit(self, tmp_path, capsys):
+        args = ["run", "bike-station", "--cache-dir", str(tmp_path)]
+        assert cli_main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache_hit=false" in first
+        assert cli_main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache_hit=true" in second
+        assert "hits=1" in second
+
+    def test_run_refresh_recomputes_despite_renamed_cache_entry(
+            self, tmp_path, capsys):
+        """--refresh unlinks by content hash, so it drops the entry even
+        when it was stored under a different scenario name."""
+        base = get_scenario("bike-station")
+        renamed = base.with_overrides(name="bike-alias")
+        run_scenario(renamed, cache_dir=str(tmp_path))  # same content hash
+        run = run_scenario(base, cache_dir=str(tmp_path))
+        assert run.report.cache_hit  # sanity: the alias entry serves base
+        assert cli_main(["run", "bike-station", "--refresh",
+                         "--cache-dir", str(tmp_path)]) == 0
+        assert "cache_hit=false" in capsys.readouterr().out
+
+    def test_clear_cache(self, tmp_path, capsys):
+        cli_main(["run", "bike-station", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert cli_main(["clear-cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.json")) == []
