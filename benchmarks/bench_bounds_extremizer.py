@@ -1,0 +1,171 @@
+"""Bounds-layer hot path — scalar vs batched drift extremization.
+
+Every bound computation reduces to extremizing ``p . f(x, theta)`` over
+``Theta``; this bench measures what batching that primitive buys on the
+two paper workloads that stress it hardest:
+
+- **fig4 hull**: the differential hull of the SIR model on the golden
+  Figure-4 grid.  The scalar RHS issues ``O(d 2^(d-1))`` Python-level
+  extremizer calls per ``solve_ivp`` evaluation; the batched RHS issues
+  one ``velocity_envelope_batch`` call over the precomputed rectangle
+  corners.
+- **fig1 pontryagin**: the transient-bound ladder of Figure 1.  The
+  scalar sweep re-maximises the Hamiltonian one grid interval at a
+  time; the batched sweep processes all ``n_steps`` intervals per
+  iteration in one call.  (The RK4 state/costate integrations are
+  shared by both modes, so the end-to-end ratio is much smaller than
+  the hull's.)
+
+Both modes must produce identical bounds — the bench asserts it — so
+the timing difference is pure extremization overhead.  Results land in
+``benchmarks/results/BENCH_bounds.json``.
+
+Run directly (``--smoke`` for the CI-sized variant)::
+
+    PYTHONPATH=src python benchmarks/bench_bounds_extremizer.py [--smoke]
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from _common import RESULTS_DIR
+from repro.bounds import differential_hull_bounds, pontryagin_transient_bounds
+from repro.models import make_sir_model
+
+BENCH_PATH = RESULTS_DIR / "BENCH_bounds.json"
+
+X0 = (0.7, 0.3)
+
+#: The golden Figure-4 hull grid (tests/test_golden_figures.py).
+FIG4_T_EVAL = np.linspace(0.0, 1.5, 7)
+
+#: The golden Figure-1 horizon ladder.
+FIG1_HORIZONS = np.array([0.5, 1.0, 2.0, 3.0])
+
+
+def _best_of(fn, repeats: int):
+    """Minimum wall time over ``repeats`` runs, plus the last result."""
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_fig4_hull(smoke: bool) -> dict:
+    model = make_sir_model()
+    repeats = 1 if smoke else 5
+
+    def run(batch):
+        return differential_hull_bounds(model, X0, FIG4_T_EVAL, batch=batch)
+
+    # Warm both paths (lazy batch validation, numpy caches).
+    run(True), run(False)
+    batched_s, batched = _best_of(lambda: run(True), repeats)
+    scalar_s, scalar = _best_of(lambda: run(False), repeats)
+    assert np.array_equal(batched.lower, scalar.lower), "hull modes diverged"
+    assert np.array_equal(batched.upper, scalar.upper), "hull modes diverged"
+    return {
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+        "identical_bounds": True,
+    }
+
+
+def bench_fig1_pontryagin(smoke: bool) -> dict:
+    model = make_sir_model()
+    horizons = FIG1_HORIZONS[:2] if smoke else FIG1_HORIZONS
+    steps_per_unit = 40.0 if smoke else 100.0
+    repeats = 1 if smoke else 2
+
+    def run(batch):
+        return pontryagin_transient_bounds(
+            model, X0, horizons, observables=["I"],
+            steps_per_unit=steps_per_unit, batch=batch,
+        )
+
+    batched_s, batched = _best_of(lambda: run(True), repeats)
+    scalar_s, scalar = _best_of(lambda: run(False), repeats)
+    assert np.array_equal(batched.lower["I"], scalar.lower["I"])
+    assert np.array_equal(batched.upper["I"], scalar.upper["I"])
+    return {
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+        "identical_bounds": True,
+        "note": "end-to-end; the shared RK4 state/costate sweeps dominate "
+                "— see fig1_hamiltonian_remax for the extremization phase",
+    }
+
+
+def bench_fig1_hamiltonian_remax(smoke: bool) -> dict:
+    """The sweep's extremization phase in isolation, on realistic data.
+
+    Times step (8) — re-maximising ``p . f(x, theta)`` on every grid
+    interval — over the state/costate trajectories of a converged fig1
+    sweep, one-interval-at-a-time vs one batched call.
+    """
+    from repro.bounds import extremal_trajectory
+    from repro.inclusion import DriftExtremizer
+
+    model = make_sir_model()
+    n_steps = 120 if smoke else 400
+    result = extremal_trajectory(model, X0, FIG1_HORIZONS[-1], [0.0, 1.0],
+                                 n_steps=n_steps)
+    states = result.states[:-1]
+    costates = result.costates[:-1]
+    batched = DriftExtremizer(model)
+    scalar = DriftExtremizer(model, batch=False)
+    repeats = 3 if smoke else 20
+    batched.maximize_direction_batch(states, costates)  # warm validation
+
+    batched_s, (thetas_b, values_b) = _best_of(
+        lambda: batched.maximize_direction_batch(states, costates), repeats
+    )
+    scalar_s, (thetas_s, values_s) = _best_of(
+        lambda: scalar.maximize_direction_batch(states, costates), repeats
+    )
+    assert np.array_equal(thetas_b, thetas_s)
+    return {
+        "n_intervals": int(n_steps),
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer repeats, shorter ladder); "
+                             "timings are not archived")
+    args = parser.parse_args(argv)
+
+    summary = {
+        "fig4_hull": bench_fig4_hull(args.smoke),
+        "fig1_pontryagin": bench_fig1_pontryagin(args.smoke),
+        "fig1_hamiltonian_remax": bench_fig1_hamiltonian_remax(args.smoke),
+        "smoke": bool(args.smoke),
+        "recorded_unix": int(time.time()),
+    }
+    for name in ("fig4_hull", "fig1_pontryagin", "fig1_hamiltonian_remax"):
+        entry = summary[name]
+        print(f"{name}: scalar {entry['scalar_seconds']:.3f}s  "
+              f"batched {entry['batched_seconds']:.3f}s  "
+              f"speedup {entry['speedup']:.2f}x")
+    if not args.smoke:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BENCH_PATH.write_text(json.dumps(summary, indent=1, sort_keys=True)
+                              + "\n")
+        print(f"wrote {BENCH_PATH}")
+    return summary
+
+
+if __name__ == "__main__":
+    main()

@@ -89,11 +89,20 @@ class HullBounds:
         """Interval bounds of a linear observable ``w . x`` over time.
 
         Uses interval arithmetic: each weight contributes its
-        sign-matching hull side.
+        sign-matching hull side.  The matmuls only see the columns whose
+        weight actually has the matching sign: a diverged hull carries
+        ``±inf`` bounds, and the zero entries of the sign-split weight
+        vectors would otherwise poison every diverged row with
+        ``inf * 0 = NaN`` (and a ``RuntimeWarning``).  With the masks,
+        diverged rows honestly report ``(-inf, +inf)``.
         """
         w = np.asarray(weights, dtype=float)
-        lo = self.lower @ np.maximum(w, 0.0) + self.upper @ np.minimum(w, 0.0)
-        hi = self.upper @ np.maximum(w, 0.0) + self.lower @ np.minimum(w, 0.0)
+        positive = w > 0.0
+        negative = w < 0.0
+        lo = (self.lower[:, positive] @ w[positive]
+              + self.upper[:, negative] @ w[negative])
+        hi = (self.upper[:, positive] @ w[positive]
+              + self.lower[:, negative] @ w[negative])
         return lo, hi
 
 
@@ -120,6 +129,32 @@ def _slice_candidates(lower: np.ndarray, upper: np.ndarray, pin_index: int,
     return np.array(list(itertools.product(*axes)))
 
 
+def _corner_masks(d: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precomputed slice-corner structure for the batched hull RHS.
+
+    The hull extremises drift coordinate ``i`` over the corners of the
+    box slices ``{x_i = lower_i}`` / ``{x_i = upper_i}``; the *union* of
+    those slice corners over all ``i`` is exactly the ``2^d`` corners of
+    the rectangle, and which bound each corner takes per coordinate is a
+    property of the index pattern, not of the current rectangle.  So the
+    boolean corner masks are built once; every RHS evaluation then
+    materialises all corners with a single ``np.where``, computes their
+    velocity envelope in one batched call, and gathers the slice
+    extrema by precomputed index.
+
+    Returns ``(masks, lo_sel, hi_sel)``: ``masks`` is ``(2^d, d)`` bool
+    ("corner takes the upper bound here"), and ``lo_sel`` / ``hi_sel``
+    are ``(d, 2^(d-1))`` integer arrays listing, per coordinate, the
+    corners lying on its lower / upper slice.
+    """
+    masks = np.array(
+        list(itertools.product([False, True], repeat=d))
+    ).reshape(-1, d)
+    lo_sel = np.stack([np.nonzero(~masks[:, i])[0] for i in range(d)])
+    hi_sel = np.stack([np.nonzero(masks[:, i])[0] for i in range(d)])
+    return masks, lo_sel, hi_sel
+
+
 def differential_hull_bounds(
     model,
     x0,
@@ -130,6 +165,7 @@ def differential_hull_bounds(
     rtol: float = 1e-7,
     atol: float = 1e-9,
     blowup_threshold: float = 100.0,
+    batch: bool = True,
 ) -> HullBounds:
     """Integrate the differential hull of the model's mean-field inclusion.
 
@@ -159,15 +195,69 @@ def differential_hull_bounds(
         exceeds this magnitude and the remaining samples are filled with
         ``-inf`` / ``+inf``, which is the honest reading of a diverged
         hull.
+    batch:
+        Evaluate the RHS through the batched extremiser: the slice-corner
+        masks are precomputed once and every evaluation issues a *single*
+        :meth:`~repro.inclusion.DriftExtremizer.velocity_envelope_batch`
+        call over the ``2^d`` rectangle corners, instead of
+        ``O(d 2^(d-1))`` Python-level extremisations.  The candidate set
+        and per-corner optima are identical, so the field — and hence
+        the hull — matches the ``batch=False`` legacy loop (kept for
+        differential testing) to integrator round-off.
     """
     t_eval = np.asarray(t_eval, dtype=float)
     x0 = np.asarray(x0, dtype=float)
     d = model.dim
-    extremizer = DriftExtremizer(model, method=theta_method)
+    extremizer = DriftExtremizer(model, method=theta_method, batch=batch)
 
-    def hull_field(t, z):
+    use_masks = batch and x_samples_per_axis <= 2
+    if use_masks:
+        corner_bits, lo_sel, hi_sel = _corner_masks(d)
+        columns = np.arange(d)[:, None]
+
+    def hull_field_batched(t, z):
         lower, upper = z[:d], z[d:]
         # Keep the slice box well-ordered under round-off.
+        upper = np.maximum(upper, lower)
+        if use_masks:
+            corners = np.where(corner_bits, upper[None, :], lower[None, :])
+            env_lo, env_hi = extremizer.velocity_envelope_batch(corners)
+            dlo = env_lo[lo_sel, columns].min(axis=1)
+            dhi = env_hi[hi_sel, columns].max(axis=1)
+        else:
+            blocks = []
+            probes = []
+            sizes = []
+            for i in range(d):
+                e = np.zeros(d)
+                e[i] = 1.0
+                for pin, sign in ((lower[i], -1.0), (upper[i], 1.0)):
+                    pts = _slice_candidates(lower, upper, i, pin,
+                                            x_samples_per_axis)
+                    blocks.append(pts)
+                    probes.append(np.tile(sign * e, (pts.shape[0], 1)))
+                    sizes.append(pts.shape[0])
+            values = extremizer.support_batch(np.vstack(blocks),
+                                              np.vstack(probes))
+            splits = np.split(values, np.cumsum(sizes)[:-1])
+            dlo = np.array([-splits[2 * i].max() for i in range(d)])
+            dhi = np.array([splits[2 * i + 1].max() for i in range(d)])
+        if refine:
+            for i in range(d):
+                dlo[i] = min(
+                    dlo[i],
+                    _refined_extremum(extremizer, lower, upper, i, lower[i],
+                                      minimise=True),
+                )
+                dhi[i] = max(
+                    dhi[i],
+                    _refined_extremum(extremizer, lower, upper, i, upper[i],
+                                      minimise=False),
+                )
+        return np.concatenate([dlo, dhi])
+
+    def hull_field_scalar(t, z):
+        lower, upper = z[:d], z[d:]
         upper = np.maximum(upper, lower)
         dlo = np.empty(d)
         dhi = np.empty(d)
@@ -196,6 +286,8 @@ def differential_hull_bounds(
             dlo[i] = lo_best
             dhi[i] = hi_best
         return np.concatenate([dlo, dhi])
+
+    hull_field = hull_field_batched if batch else hull_field_scalar
 
     z0 = np.concatenate([x0, x0])
 

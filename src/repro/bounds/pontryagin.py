@@ -92,8 +92,16 @@ class PontryaginResult:
         return Trajectory(self.times, self.states)
 
     def control_at(self, t: float) -> np.ndarray:
-        """The parameter applied at time ``t`` (left-continuous lookup)."""
-        index = int(np.searchsorted(self.times, t, side="right") - 1)
+        """The parameter applied at time ``t`` (left-continuous lookup).
+
+        ``controls[i]`` is in force on the grid interval
+        ``(times[i], times[i + 1]]``, so querying exactly at a grid
+        point returns the control that *was driving the state into it*
+        — the left limit, matching the piecewise-constant-control
+        convention documented here.  (Interior queries are unaffected;
+        queries at or before ``times[0]`` clamp to the first interval.)
+        """
+        index = int(np.searchsorted(self.times, t, side="left") - 1)
         index = min(max(index, 0), self.controls.shape[0] - 1)
         return self.controls[index].copy()
 
@@ -117,6 +125,7 @@ def extremal_trajectory(
     chatter_intervals: int = 2,
     extremizer: Optional[DriftExtremizer] = None,
     initial_controls: Optional[np.ndarray] = None,
+    batch: bool = True,
 ) -> PontryaginResult:
     """Compute the trajectory extremising ``direction . x(T)``.
 
@@ -147,6 +156,15 @@ def extremal_trajectory(
     initial_controls:
         Warm-start control signal, shape ``(n_steps, p)``; defaults to
         the centre of ``Theta`` on every interval.
+    batch:
+        Whether the default extremiser uses the vectorized batch
+        kernels; the Hamiltonian re-maximisation of step (8) always
+        goes through one
+        :meth:`~repro.inclusion.DriftExtremizer.maximize_direction_batch`
+        call per sweep (all ``n_steps`` grid intervals at once), so
+        ``batch=False`` — or a pre-built ``batch=False`` extremiser —
+        reduces it to the legacy one-interval-at-a-time loop for
+        differential testing.
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
@@ -160,7 +178,7 @@ def extremal_trajectory(
         )
     if not np.any(direction != 0.0):
         raise ValueError("direction must be non-zero")
-    extremizer = extremizer or DriftExtremizer(model)
+    extremizer = extremizer or DriftExtremizer(model, batch=batch)
     # Internally we always maximise c . x(T).
     c = direction if maximize else -direction
     grid = np.linspace(0.0, float(horizon), n_steps + 1)
@@ -208,13 +226,11 @@ def extremal_trajectory(
         p_rev = rk4_integrate(costate_field, c, grid[::-1])
         costate_states = p_rev.states[::-1].copy()
 
-        # (8) pointwise Hamiltonian maximisation -> target control signal.
-        target_controls = np.empty_like(controls)
-        for i in range(n_steps):
-            theta_star, _ = extremizer.maximize_direction(
-                x_traj.states[i], costate_states[i]
-            )
-            target_controls[i] = theta_star
+        # (8) pointwise Hamiltonian maximisation -> target control signal:
+        # all n_steps grid intervals in one batched call.
+        target_controls, _ = extremizer.maximize_direction_batch(
+            x_traj.states[:-1], costate_states[:-1]
+        )
 
         changed = np.any(np.abs(target_controls - controls) > tol, axis=1)
         n_changed = int(np.count_nonzero(changed))
@@ -246,9 +262,9 @@ def extremal_trajectory(
     # Relaxed iterations can leave blended (interior) controls; project
     # back to the pointwise Hamiltonian maximiser — the PMP-consistent
     # bang-bang signal — and keep it when it does not lose value.
-    projected = np.empty_like(controls)
-    for i in range(n_steps):
-        projected[i] = extremizer.maximize_direction(states[i], costates[i])[0]
+    projected, _ = extremizer.maximize_direction_batch(
+        states[:-1], costates[:-1]
+    )
     x_proj = rk4_integrate_controlled(dynamics, x0, grid, projected)
     value_proj = float(c @ x_proj.final_state)
     if value_proj >= value - value_tol * max(1.0, abs(value)):
@@ -339,6 +355,7 @@ def pontryagin_transient_bounds(
     extremizer: Optional[DriftExtremizer] = None,
     keep_results: bool = False,
     sides: Sequence[str] = ("lower", "upper"),
+    batch: bool = True,
 ) -> TransientBounds:
     """Exact imprecise-model bounds at each horizon, per observable.
 
@@ -364,7 +381,7 @@ def pontryagin_transient_bounds(
             f"got {tuple(sides)}"
         )
     directions = _resolve_directions(model, observables)
-    extremizer = extremizer or DriftExtremizer(model)
+    extremizer = extremizer or DriftExtremizer(model, batch=batch)
     bounds = TransientBounds(horizons=horizons.copy())
     requested = tuple(
         is_max for is_max in (False, True)
@@ -505,6 +522,7 @@ def reachable_polytope_2d(
     n_steps: int = 300,
     max_iter: int = 100,
     extremizer: Optional[DriftExtremizer] = None,
+    batch: bool = True,
 ) -> np.ndarray:
     """Convex template over-approximation of the reachable set at ``T``.
 
@@ -518,7 +536,7 @@ def reachable_polytope_2d(
         raise ValueError("template polytopes are implemented for 2-D models")
     if n_directions < 3:
         raise ValueError("need at least 3 template directions")
-    extremizer = extremizer or DriftExtremizer(model)
+    extremizer = extremizer or DriftExtremizer(model, batch=batch)
     angles = np.linspace(0.0, 2.0 * np.pi, n_directions, endpoint=False)
     normals = np.stack([np.cos(angles), np.sin(angles)], axis=1)
     offsets = np.empty(n_directions)

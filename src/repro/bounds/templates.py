@@ -102,12 +102,18 @@ class TemplatePolytope:
         return float(np.max(self.directions @ x - self.offsets))
 
     def support(self, direction) -> float:
-        """Support value for a template direction (must match one row)."""
+        """Support value for a template direction (must match one row).
+
+        A direction may appear on several rows — :meth:`intersect`
+        stacks the halfspaces of both operands verbatim — and the
+        polytope satisfies *all* of them, so the support value is the
+        tightest (minimum) matching offset, not the first one found.
+        """
         direction = np.asarray(direction, dtype=float)
         matches = np.all(np.isclose(self.directions, direction), axis=1)
         if not matches.any():
             raise KeyError("direction is not part of the template")
-        return float(self.offsets[np.argmax(matches)])
+        return float(np.min(self.offsets[matches]))
 
     def bounding_box(self) -> Optional[tuple]:
         """The axis-aligned box implied by the ``±e_i`` rows, if present.
@@ -145,10 +151,13 @@ def template_reachable_bounds(
     n_steps: int = 300,
     max_iter: int = 100,
     extremizer: Optional[DriftExtremizer] = None,
+    batch: bool = True,
 ) -> TemplatePolytope:
     """Template polytope enclosing the reachable set at ``horizon``.
 
-    One Pontryagin sweep per template direction.  Works in any dimension
+    One Pontryagin sweep per template direction, each re-maximising its
+    Hamiltonian through the batched extremiser (``batch=False`` routes
+    the sweeps through the legacy scalar loop).  Works in any dimension
     (used for the 4-D GPS MAP model); defaults to the octagon template.
     Soundness: every solution of the imprecise inclusion satisfies
     ``c_k . x(T) <= h_k`` for all ``k``, so the polytope contains the
@@ -161,7 +170,7 @@ def template_reachable_bounds(
         raise ValueError(
             f"directions must be (m, {model.dim}); got {directions.shape}"
         )
-    extremizer = extremizer or DriftExtremizer(model)
+    extremizer = extremizer or DriftExtremizer(model, batch=batch)
     offsets = np.empty(directions.shape[0])
     for k, c in enumerate(directions):
         result = extremal_trajectory(

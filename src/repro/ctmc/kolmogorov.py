@@ -10,7 +10,9 @@ Because this is itself a differential inclusion with affine-in-theta
 drift, the whole Section IV toolbox applies verbatim: the
 :class:`KolmogorovSystem` adapter exposes the master equation through
 the same duck-typed interface as a population model (``drift``,
-``jacobian_x``, ``affine_parts``, ``theta_set``), so
+``jacobian_x``, ``affine_parts`` — plus their batched forms
+``drift_batch`` / ``affine_parts_batch``, which reduce to one sparse
+matmul per generator part — and ``theta_set``), so
 
 - :func:`imprecise_reward_bounds` runs the Pontryagin sweep on the
   master equation, giving the *exact* extreme of any expected reward
@@ -96,6 +98,28 @@ class KolmogorovSystem:
         g0 = self._q0_t @ p
         big_g = np.stack([part @ p for part in self._parts_t], axis=1)
         return g0, big_g
+
+    def drift_batch(self, p, theta) -> np.ndarray:
+        """Row-wise master-equation drift for ``(n, d)`` / ``(n, p)`` stacks."""
+        p = np.atleast_2d(np.asarray(p, dtype=float))
+        theta = np.atleast_2d(np.asarray(theta, dtype=float))
+        out = (self._q0_t @ p.T).T
+        for k, part in enumerate(self._parts_t):
+            out = out + theta[:, k, None] * (part @ p.T).T
+        return out
+
+    def affine_parts_batch(self, p):
+        """Batched decomposition: one sparse matmul per generator part.
+
+        The master equation is linear in ``P``, so the whole stack is a
+        single ``Q^T P`` product per part — the batched bound
+        computations (Pontryagin re-maximisation over all grid
+        intervals) need no per-row Python loop at all.
+        """
+        p = np.atleast_2d(np.asarray(p, dtype=float))
+        g0s = (self._q0_t @ p.T).T
+        big_gs = np.stack([(part @ p.T).T for part in self._parts_t], axis=2)
+        return g0s, big_gs
 
     def jacobian_x(self, p, theta) -> np.ndarray:
         theta = np.asarray(theta, dtype=float)

@@ -22,6 +22,32 @@ and the Hamiltonian maximiser of the Pontryagin sweep, Eq. 8).  The
 
 ``method="auto"`` picks ``"affine"`` when the model declares the
 decomposition and ``"grid"`` otherwise.
+
+Batched primitives
+------------------
+
+The consumers of this primitive never need *one* extremisation — the
+differential hull extremises over every slice corner of every coordinate
+per RHS evaluation, and the Pontryagin sweep re-maximises the
+Hamiltonian on every grid interval per iteration.  The ``*_batch``
+methods therefore operate on ``(n, d)`` stacks of states paired with
+``(n, d)`` stacks of directions and answer all ``n`` queries in a
+handful of NumPy calls:
+
+- the affine strategy evaluates the decomposition once per stack
+  (:meth:`~repro.population.PopulationModel.affine_parts_batch`), takes
+  ``p^T G`` by ``einsum`` and resolves the bang-bang choice with one
+  ``np.where`` against the box bounds;
+- the corner/grid strategies broadcast the candidate set over the stack
+  and evaluate all ``n * n_candidates`` drifts through
+  :meth:`~repro.population.PopulationModel.drift_batch`.
+
+Batching is *exact*, not approximate: each row's optimiser is the same
+corner (or grid point) the scalar code would pick — the per-row optimum
+of a monotone/affine functional does not depend on which other rows are
+evaluated alongside it.  Scalar calls delegate to the batch kernels with
+``n = 1``; the legacy scalar loop is kept behind ``batch=False`` purely
+for differential testing.
 """
 
 from __future__ import annotations
@@ -52,10 +78,17 @@ class DriftExtremizer:
     refine:
         Whether the grid strategy polishes its best point with a bounded
         L-BFGS-B run (only meaningful for non-affine models).
+    batch:
+        When ``True`` (the default) every query — scalar or stacked —
+        runs through the vectorized batch kernels.  ``batch=False``
+        routes everything through the legacy one-query-at-a-time scalar
+        code instead; the two paths are kept equivalent by the
+        differential test-suite and ``batch=False`` exists only to
+        support it (and honest scalar baselines in benchmarks).
     """
 
     def __init__(self, model, method: str = "auto", grid_resolution: int = 9,
-                 refine: bool = False):
+                 refine: bool = False, batch: bool = True):
         if method not in _VALID_METHODS:
             raise ValueError(f"method must be one of {_VALID_METHODS}, got {method!r}")
         if grid_resolution < 2:
@@ -73,7 +106,14 @@ class DriftExtremizer:
         self.method = method
         self.grid_resolution = int(grid_resolution)
         self.refine = bool(refine)
+        self.batch = bool(batch)
         self._cached_grid: Optional[np.ndarray] = None
+        # The box bounds are immutable per extremizer; materialise them
+        # once so the bang-bang kernel does no per-call allocation.
+        if method == "affine" and not isinstance(model.theta_set, DiscreteSet):
+            self._affine_lowers, self._affine_uppers = self._box_bounds(
+                model.theta_set
+            )
 
     # ------------------------------------------------------------------
     # Core primitive: support function / Hamiltonian maximiser
@@ -84,15 +124,17 @@ class DriftExtremizer:
 
         This is the support function of the velocity set in ``direction``
         together with its maximiser — the quantity the Pontryagin sweep
-        evaluates at every grid point (Eq. 8 of the paper).
+        evaluates at every grid point (Eq. 8 of the paper).  Delegates to
+        :meth:`maximize_direction_batch` with a one-row stack (or to the
+        legacy scalar strategies under ``batch=False``).
         """
         x = np.asarray(x, dtype=float)
         direction = np.asarray(direction, dtype=float)
-        if self.method == "affine":
-            return self._maximize_affine(x, direction)
-        if self.method == "corners":
-            return self._maximize_enumerate(x, direction, self.model.theta_set.corners())
-        return self._maximize_grid(x, direction)
+        if not self.batch:
+            return self._maximize_scalar(x, direction)
+        thetas, values = self.maximize_direction_batch(x[None, :],
+                                                       direction[None, :])
+        return thetas[0], float(values[0])
 
     def minimize_direction(self, x, direction) -> Tuple[np.ndarray, float]:
         """Return ``(theta*, value)`` minimising ``direction . f(x, theta)``."""
@@ -102,6 +144,119 @@ class DriftExtremizer:
     def support(self, x, direction) -> float:
         """The support function ``h(x, p) = max_theta p . f(x, theta)``."""
         return self.maximize_direction(x, direction)[1]
+
+    # ------------------------------------------------------------------
+    # Batched primitives (the hot path of every bound computation)
+    # ------------------------------------------------------------------
+
+    def maximize_direction_batch(self, states, directions
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-wise ``argmax_theta  p_r . f(x_r, theta)`` over a stack.
+
+        Parameters
+        ----------
+        states:
+            State stack of shape ``(n, d)``.
+        directions:
+            Direction stack of shape ``(n, d)`` (one direction per row).
+
+        Returns
+        -------
+        ``(thetas, values)`` with ``thetas`` of shape ``(n, theta_dim)``
+        and ``values`` of shape ``(n,)``; row ``r`` solves the scalar
+        problem ``maximize_direction(states[r], directions[r])``.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        directions = np.atleast_2d(np.asarray(directions, dtype=float))
+        if directions.shape != states.shape:
+            raise ValueError(
+                f"directions shape {directions.shape} must match states "
+                f"shape {states.shape}"
+            )
+        if not self.batch:
+            n = states.shape[0]
+            thetas = np.empty((n, self.model.theta_dim))
+            values = np.empty(n)
+            for r in range(n):
+                theta, value = self._maximize_scalar(states[r], directions[r])
+                thetas[r] = theta
+                values[r] = value
+            return thetas, values
+        if self.method == "affine":
+            return self._maximize_affine_batch(states, directions)
+        if self.method == "corners":
+            return self._maximize_enumerate_batch(
+                states, directions, self.model.theta_set.corners()
+            )
+        return self._maximize_grid_batch(states, directions)
+
+    def minimize_direction_batch(self, states, directions
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-wise minimisers: ``(thetas, values)`` minimising each row."""
+        directions = np.atleast_2d(np.asarray(directions, dtype=float))
+        thetas, values = self.maximize_direction_batch(states, -directions)
+        return thetas, -values
+
+    def support_batch(self, states, directions) -> np.ndarray:
+        """Support values ``h(x_r, p_r)`` for a stack, shape ``(n,)``."""
+        return self.maximize_direction_batch(states, directions)[1]
+
+    def coordinate_range_batch(self, states, index: int
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Range of drift coordinate ``index`` per row: ``(lower, upper)``.
+
+        Equivalent to calling :meth:`coordinate_range` on each row;
+        both extremisations of the whole stack are answered by a single
+        doubled batch call.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        n = states.shape[0]
+        e = np.zeros((n, states.shape[1]))
+        e[:, index] = 1.0
+        values = self.support_batch(
+            np.concatenate([states, states]), np.concatenate([e, -e])
+        )
+        return -values[n:], values[:n]
+
+    def velocity_envelope_batch(self, states
+                                ) -> Tuple[np.ndarray, np.ndarray]:
+        """Coordinate-wise bounds of ``F(x_r)`` per row.
+
+        Returns ``(lower, upper)`` arrays of shape ``(n, d)``; one
+        batched call answers all ``2 n d`` extremisations.  The affine
+        strategy has a closed form: with ``f = g0 + G theta`` each
+        coordinate's bound sums the sign-matching box endpoint of every
+        ``G`` entry (the bang-bang rule applied to all ``2 d``
+        directions at once); other strategies stack the ``±e_i`` probes
+        through :meth:`support_batch`.  Both agree with the scalar
+        per-coordinate loop to the last bit — this is the kernel behind
+        the batched differential-hull RHS.
+        """
+        states = np.asarray(states, dtype=float)
+        if states.ndim == 1:
+            states = states[None, :]
+        if self.batch and self.method == "affine":
+            g0s, big_gs = self.model.affine_parts_batch(states)
+            theta_set = self.model.theta_set
+            if isinstance(theta_set, DiscreteSet):
+                values = np.einsum("ndp,mp->ndm", big_gs, theta_set.values)
+                return g0s + values.min(axis=2), g0s + values.max(axis=2)
+            # With u >= l per box axis, max/min of the two endpoint
+            # products select exactly the bang-bang sign rule.
+            at_upper = big_gs * self._affine_uppers
+            at_lower = big_gs * self._affine_lowers
+            upper = g0s + np.maximum(at_upper, at_lower).sum(axis=2)
+            lower = g0s + np.minimum(at_upper, at_lower).sum(axis=2)
+            return lower, upper
+        n, d = states.shape
+        eye = np.eye(d)
+        probe = np.concatenate([np.repeat(eye, n, axis=0),
+                                np.repeat(-eye, n, axis=0)])
+        stacked = np.tile(states, (2 * d, 1))
+        values = self.support_batch(stacked, probe)
+        upper = values[: d * n].reshape(d, n).T
+        lower = -values[d * n:].reshape(d, n).T
+        return lower, upper
 
     # ------------------------------------------------------------------
     # Derived envelopes
@@ -120,8 +275,15 @@ class DriftExtremizer:
 
         This is the tight rectangular enclosure of the velocity set used
         by the differential-hull construction (with the state part of the
-        extremisation handled separately by the hull).
+        extremisation handled separately by the hull).  Delegates to
+        :meth:`velocity_envelope_batch` with a one-row stack (legacy
+        per-coordinate loop under ``batch=False``).
         """
+        if self.batch:
+            lower, upper = self.velocity_envelope_batch(
+                np.asarray(x, dtype=float)[None, :]
+            )
+            return lower[0], upper[0]
         lower = np.empty(self.model.dim)
         upper = np.empty(self.model.dim)
         for i in range(self.model.dim):
@@ -129,8 +291,62 @@ class DriftExtremizer:
         return lower, upper
 
     # ------------------------------------------------------------------
-    # Strategies
+    # Batched strategies
     # ------------------------------------------------------------------
+
+    def _maximize_affine_batch(self, states, directions
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        g0s, big_gs = self.model.affine_parts_batch(states)
+        base = np.einsum("nd,nd->n", directions, g0s)
+        coeffs = np.einsum("nd,ndp->np", directions, big_gs)
+        theta_set = self.model.theta_set
+        if isinstance(theta_set, DiscreteSet):
+            values = coeffs @ theta_set.values.T  # (n, n_points)
+            best = np.argmax(values, axis=1)
+            thetas = theta_set.values[best].copy()
+            return thetas, base + values[np.arange(best.shape[0]), best]
+        # Bang-bang per coordinate; zero coefficients take the lower
+        # bound for determinism, exactly as the scalar rule.
+        thetas = np.where(coeffs > 0.0, self._affine_uppers, self._affine_lowers)
+        values = base + np.einsum("np,np->n", coeffs, thetas)
+        return thetas, values
+
+    def _maximize_enumerate_batch(self, states, directions, candidates
+                                  ) -> Tuple[np.ndarray, np.ndarray]:
+        candidates = np.asarray(candidates, dtype=float)
+        n, d = states.shape
+        m = candidates.shape[0]
+        x_rep = np.repeat(states, m, axis=0)
+        theta_rep = np.tile(candidates, (n, 1))
+        drifts = self.model.drift_batch(x_rep, theta_rep).reshape(n, m, d)
+        values = np.einsum("nd,nmd->nm", directions, drifts)
+        best = np.argmax(values, axis=1)
+        thetas = candidates[best].copy()
+        return thetas, values[np.arange(n), best]
+
+    def _maximize_grid_batch(self, states, directions
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+        thetas, values = self._maximize_enumerate_batch(
+            states, directions, self._theta_grid()
+        )
+        if not self.refine or isinstance(self.model.theta_set, DiscreteSet):
+            return thetas, values
+        for r in range(states.shape[0]):
+            thetas[r], values[r] = self._polish(
+                states[r], directions[r], thetas[r], values[r]
+            )
+        return thetas, values
+
+    # ------------------------------------------------------------------
+    # Legacy scalar strategies (batch=False differential-testing path)
+    # ------------------------------------------------------------------
+
+    def _maximize_scalar(self, x, direction) -> Tuple[np.ndarray, float]:
+        if self.method == "affine":
+            return self._maximize_affine(x, direction)
+        if self.method == "corners":
+            return self._maximize_enumerate(x, direction, self.model.theta_set.corners())
+        return self._maximize_grid(x, direction)
 
     def _maximize_affine(self, x, direction) -> Tuple[np.ndarray, float]:
         g0, big_g = self.model.affine_parts(x)
@@ -169,12 +385,13 @@ class DriftExtremizer:
 
     def _maximize_grid(self, x, direction) -> Tuple[np.ndarray, float]:
         theta, value = self._maximize_enumerate(x, direction, self._theta_grid())
-        if not self.refine:
+        if not self.refine or isinstance(self.model.theta_set, DiscreteSet):
             return theta, value
-        theta_set = self.model.theta_set
-        if isinstance(theta_set, DiscreteSet):
-            return theta, value
-        lowers, uppers = self._box_bounds(theta_set)
+        return self._polish(x, direction, theta, value)
+
+    def _polish(self, x, direction, theta, value) -> Tuple[np.ndarray, float]:
+        """Shared L-BFGS-B refinement step of the grid strategy."""
+        lowers, uppers = self._box_bounds(self.model.theta_set)
         objective = lambda th: -float(  # noqa: E731 - tiny adapter
             direction @ self.model.drift(x, th)
         )

@@ -63,8 +63,16 @@ class ParametricInclusion:
         return self.extremizer.support(x, direction)
 
     def velocity_envelope(self, x) -> Tuple[np.ndarray, np.ndarray]:
-        """Coordinate-wise min/max of ``F(x)``."""
+        """Coordinate-wise min/max of ``F(x)``.
+
+        Delegates to the extremiser, which answers all ``2 d``
+        extremisations through one batched envelope evaluation.
+        """
         return self.extremizer.velocity_envelope(x)
+
+    def velocity_envelope_batch(self, states) -> Tuple[np.ndarray, np.ndarray]:
+        """Coordinate-wise min/max of ``F(x_r)`` for an ``(n, d)`` stack."""
+        return self.extremizer.velocity_envelope_batch(states)
 
     def contains_velocity(self, x, v, tol: float = 1e-9) -> bool:
         """Whether ``v`` lies in the *convex hull* of ``F(x)``.
@@ -72,19 +80,19 @@ class ParametricInclusion:
         Checked through support functions along coordinate axes and
         diagonal probe directions — a necessary condition that is also
         sufficient when ``F(x)`` is convex (the mean-field limit takes the
-        convex closure of the velocity set, Eq. 4 of the paper).
+        convex closure of the velocity set, Eq. 4 of the paper).  All
+        probe directions are answered by a single batched support call.
         """
         x = np.asarray(x, dtype=float)
         v = np.asarray(v, dtype=float)
-        directions = list(np.eye(self.dim)) + list(-np.eye(self.dim))
         rng = np.random.default_rng(12345)
         extra = rng.normal(size=(4 * self.dim, self.dim))
         extra /= np.linalg.norm(extra, axis=1, keepdims=True)
-        directions += list(extra)
-        for p in directions:
-            if float(p @ v) > self.support(x, p) + tol:
-                return False
-        return True
+        directions = np.vstack([np.eye(self.dim), -np.eye(self.dim), extra])
+        supports = self.extremizer.support_batch(
+            np.tile(x, (directions.shape[0], 1)), directions
+        )
+        return bool(np.all(directions @ v <= supports + tol))
 
     # ------------------------------------------------------------------
     # Witness solutions

@@ -12,7 +12,8 @@ __all__ = ["mean_field_inclusion", "mean_field_ode"]
 
 
 def mean_field_inclusion(model, method: str = "auto", grid_resolution: int = 9,
-                         refine: bool = False) -> ParametricInclusion:
+                         refine: bool = False,
+                         batch: bool = True) -> ParametricInclusion:
     """Build the mean-field differential inclusion of Theorem 1.
 
     For an imprecise population process with density-scaled transition
@@ -26,7 +27,8 @@ def mean_field_inclusion(model, method: str = "auto", grid_resolution: int = 9,
     select how support functions of ``F(x)`` are computed.
     """
     extremizer = DriftExtremizer(
-        model, method=method, grid_resolution=grid_resolution, refine=refine
+        model, method=method, grid_resolution=grid_resolution, refine=refine,
+        batch=batch,
     )
     return ParametricInclusion(model, extremizer=extremizer)
 

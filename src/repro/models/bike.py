@@ -59,6 +59,19 @@ def make_bike_station_model(
         )
         return g0, big_g
 
+    def affine_drift_batch(x):
+        occupied = x[:, 0]
+        n = x.shape[0]
+        g0 = np.zeros((n, 1))
+        big_g = np.stack(
+            [
+                np.where(occupied > 0.0, -1.0, 0.0),
+                np.where(occupied < 1.0, 1.0, 0.0),
+            ],
+            axis=1,
+        )[:, None, :]
+        return g0, big_g
+
     def jacobian(x, theta):
         # Piecewise constant drift: zero Jacobian away from the boundary.
         return np.zeros((1, 1))
@@ -69,6 +82,7 @@ def make_bike_station_model(
         transitions=[departure, bike_return],
         theta_set=theta_set,
         affine_drift=affine_drift,
+        affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
         state_bounds=([0.0], [1.0]),
         observables={"occupied": [1.0]},

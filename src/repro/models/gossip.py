@@ -81,6 +81,15 @@ def make_gossip_model(
         big_g = np.array([[-ig * sp], [ig * sp]])
         return g0, big_g
 
+    def affine_drift_batch(x):
+        ig, sp = x[:, 0], x[:, 1]
+        g0 = np.stack(
+            [delta * (1.0 - ig - sp), -k * sp * (1.0 - ig)], axis=1
+        )
+        igsp = ig * sp
+        big_g = np.stack([-igsp, igsp], axis=1)[:, :, None]
+        return g0, big_g
+
     def jacobian(x, theta):
         ig, sp = float(x[0]), float(x[1])
         th = float(theta[0])
@@ -97,6 +106,7 @@ def make_gossip_model(
         transitions=[push, stifle, forget],
         theta_set=theta_set,
         affine_drift=affine_drift,
+        affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
         state_bounds=([0.0, 0.0], [1.0, 1.0]),
         observables={

@@ -121,6 +121,25 @@ def _gps_share_rate(q1: float, q2: float, mu_i: float, phi_i: float, q_i: float,
     return capacity * mu_i * phi_i * q_i / denominator
 
 
+def _gps_share_rate_batch(q1, q2, mu_i, phi_i, q_i, phi, capacity):
+    """Vectorized :func:`_gps_share_rate` over parallel queue-state vectors.
+
+    Identical arithmetic per element (the flooring only replaces the
+    denominator where the share is zero anyway), so the batched affine
+    decomposition agrees with the scalar one bit-for-bit.
+    """
+    q1 = np.maximum(q1, 0.0)
+    q2 = np.maximum(q2, 0.0)
+    q_i = np.maximum(q_i, 0.0)
+    denominator = phi[0] * q1 + phi[1] * q2
+    safe = np.maximum(denominator, _DENOMINATOR_FLOOR)
+    return np.where(
+        denominator <= _DENOMINATOR_FLOOR,
+        0.0,
+        capacity * mu_i * phi_i * q_i / safe,
+    )
+
+
 def make_gps_poisson_model(
     mu: Sequence[float] = GPS_PAPER_PARAMS["mu"],
     phi: Sequence[float] = GPS_PAPER_PARAMS["phi"],
@@ -194,6 +213,17 @@ def make_gps_poisson_model(
         )
         return g0, big_g
 
+    def affine_drift_batch(x):
+        q1, q2 = x[:, 0], x[:, 1]
+        n = x.shape[0]
+        s1 = _gps_share_rate_batch(q1, q2, mu[0], phi[0], q1, phi, capacity)
+        s2 = _gps_share_rate_batch(q1, q2, mu[1], phi[1], q2, phi, capacity)
+        g0 = np.stack([-s1, -s2], axis=1)
+        big_g = np.zeros((n, 2, 2))
+        big_g[:, 0, 0] = np.maximum(n1 - q1, 0.0)
+        big_g[:, 1, 1] = np.maximum(n2 - q2, 0.0)
+        return g0, big_g
+
     def jacobian(x, theta):
         q1, q2 = max(float(x[0]), 0.0), max(float(x[1]), 0.0)
         lam1, lam2 = float(theta[0]), float(theta[1])
@@ -220,6 +250,7 @@ def make_gps_poisson_model(
         transitions=[creation_1, creation_2, service_1, service_2],
         theta_set=theta_set,
         affine_drift=affine_drift,
+        affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
         state_bounds=([0.0, 0.0], [n1, n2]),
         observables={
@@ -319,6 +350,25 @@ def make_gps_map_model(
         )
         return g0, big_g
 
+    def affine_drift_batch(x):
+        q1, e1, q2, e2 = x[:, 0], x[:, 1], x[:, 2], x[:, 3]
+        n = x.shape[0]
+        s1 = _gps_share_rate_batch(q1, q2, mu[0], phi[0], q1, phi, capacity)
+        s2 = _gps_share_rate_batch(q1, q2, mu[1], phi[1], q2, phi, capacity)
+        g0 = np.stack(
+            [
+                -s1,
+                s1 - activation[0] * e1,
+                -s2,
+                s2 - activation[1] * e2,
+            ],
+            axis=1,
+        )
+        big_g = np.zeros((n, 4, 2))
+        big_g[:, 0, 0] = np.maximum(n1 - q1 - e1, 0.0)
+        big_g[:, 2, 1] = np.maximum(n2 - q2 - e2, 0.0)
+        return g0, big_g
+
     def jacobian(x, theta):
         q1, e1, q2, e2 = (float(v) for v in x)
         q1, q2 = max(q1, 0.0), max(q2, 0.0)
@@ -353,6 +403,7 @@ def make_gps_map_model(
         transitions=[send_1, send_2, service_1, service_2, activate_1, activate_2],
         theta_set=theta_set,
         affine_drift=affine_drift,
+        affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
         state_bounds=([0.0, 0.0, 0.0, 0.0], [n1, n1, n2, n2]),
         observables={

@@ -113,6 +113,17 @@ def make_power_of_d_model(
             coeff[k - 1, 0] = max(tail(x, k - 1) ** d - tail(x, k) ** d, 0.0)
         return g0, coeff
 
+    def affine_drift_batch(x):
+        n = x.shape[0]
+        # Columns of `padded` are the tails x_0 .. x_{K+1} with the
+        # boundary conventions x_0 = 1, x_{K+1} = 0 baked in.
+        padded = np.concatenate([np.ones((n, 1)), x, np.zeros((n, 1))], axis=1)
+        g0 = -mu * np.maximum(padded[:, 1:dim + 1] - padded[:, 2:dim + 2], 0.0)
+        coeff = np.maximum(
+            padded[:, 0:dim] ** d - padded[:, 1:dim + 1] ** d, 0.0
+        )
+        return g0, coeff[:, :, None]
+
     def jacobian(x, theta):
         lam = float(theta[0])
         jac = np.zeros((dim, dim))
@@ -132,6 +143,7 @@ def make_power_of_d_model(
         transitions=transitions,
         theta_set=theta_set,
         affine_drift=affine_drift,
+        affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
         state_bounds=(np.zeros(dim), np.ones(dim)),
         observables={

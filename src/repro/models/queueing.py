@@ -92,6 +92,15 @@ def make_repairable_queue_model(
         big_g = np.array([[1.0 - q, 0.0], [0.0, c - b]])
         return g0, big_g
 
+    def affine_drift_batch(x):
+        q, b_ = x[:, 0], x[:, 1]
+        n = x.shape[0]
+        g0 = np.stack([-mu * (c - b_) * q, -rho * b_], axis=1)
+        big_g = np.zeros((n, 2, 2))
+        big_g[:, 0, 0] = 1.0 - q
+        big_g[:, 1, 1] = c - b_
+        return g0, big_g
+
     def jacobian(x, theta):
         q, b = float(x[0]), float(x[1])
         lam, gam = float(theta[0]), float(theta[1])
@@ -108,6 +117,7 @@ def make_repairable_queue_model(
         transitions=[arrival, service, breakdown, repair],
         theta_set=theta_set,
         affine_drift=affine_drift,
+        affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
         state_bounds=([0.0, 0.0], [1.0, c]),
         observables={

@@ -78,6 +78,20 @@ def make_seir_model(
         big_g = np.array([[-s * i], [s * i], [0.0]])
         return g0, big_g
 
+    def affine_drift_batch(x):
+        s, e, i = x[:, 0], x[:, 1], x[:, 2]
+        g0 = np.stack(
+            [
+                c * (1.0 - s - e - i) - a * s,
+                a * s - sigma * e,
+                sigma * e - b * i,
+            ],
+            axis=1,
+        )
+        si = s * i
+        big_g = np.stack([-si, si, np.zeros_like(si)], axis=1)[:, :, None]
+        return g0, big_g
+
     def jacobian(x, theta):
         s, i = float(x[0]), float(x[2])
         th = float(theta[0])
@@ -95,6 +109,7 @@ def make_seir_model(
         transitions=[exposure, incubation, recovery, immunity_loss],
         theta_set=theta_set,
         affine_drift=affine_drift,
+        affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
         state_bounds=([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]),
         observables={

@@ -87,6 +87,19 @@ def make_sir_model(
         big_g = np.array([[-s * i], [s * i]])
         return g0, big_g
 
+    def affine_drift_batch(x):
+        # Filled column-by-column (not np.stack): this decomposition is
+        # the innermost call of every hull RHS evaluation.
+        s, i = x[:, 0], x[:, 1]
+        g0 = np.empty_like(x)
+        g0[:, 0] = c - (a + c) * s - c * i
+        g0[:, 1] = a * s - b * i
+        si = s * i
+        big_g = np.empty((x.shape[0], 2, 1))
+        big_g[:, 0, 0] = -si
+        big_g[:, 1, 0] = si
+        return g0, big_g
+
     def jacobian(x, theta):
         s, i = float(x[0]), float(x[1])
         th = float(theta[0])
@@ -103,6 +116,7 @@ def make_sir_model(
         transitions=[infection, recovery, immunity_loss],
         theta_set=theta_set,
         affine_drift=affine_drift,
+        affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
         state_bounds=([0.0, 0.0], [1.0, 1.0]),
         observables={
@@ -156,6 +170,13 @@ def make_sir_full_model(
         big_g = np.array([[-s * i], [s * i], [0.0]])
         return g0, big_g
 
+    def affine_drift_batch(x):
+        s, i, r = x[:, 0], x[:, 1], x[:, 2]
+        g0 = np.stack([c * r - a * s, a * s - b * i, b * i - c * r], axis=1)
+        si = s * i
+        big_g = np.stack([-si, si, np.zeros_like(si)], axis=1)[:, :, None]
+        return g0, big_g
+
     def jacobian(x, theta):
         s, i = float(x[0]), float(x[1])
         th = float(theta[0])
@@ -173,6 +194,7 @@ def make_sir_full_model(
         transitions=[infection, recovery, immunity_loss],
         theta_set=theta_set,
         affine_drift=affine_drift,
+        affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
         state_bounds=([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]),
         conservations=[([1.0, 1.0, 1.0], 1.0)],

@@ -14,12 +14,13 @@ __all__ = [
 
 
 def validated_batch_eval(batch_fn: Callable, scalar_fn: Callable, n: int,
-                         status, can_validate: bool):
+                         status, can_validate: bool, clamp: bool = True):
     """Evaluate a user rate function over a batch with lazy validation.
 
     Shared heuristic behind
-    :meth:`~repro.population.PopulationModel.transition_rates_batch` and
-    the random-jump policy lane: user rate functions are written against
+    :meth:`~repro.population.PopulationModel.transition_rates_batch`,
+    :meth:`~repro.population.PopulationModel.drift_batch` and the
+    random-jump policy lane: user rate functions are written against
     scalar coordinates, so the batched (coordinate-major) call is only
     trusted after it has reproduced the per-row scalar evaluation once.
 
@@ -30,7 +31,7 @@ def validated_batch_eval(batch_fn: Callable, scalar_fn: Callable, n: int,
         coordinate-major batch; its result should be ``(n,)``.
     scalar_fn:
         Zero-argument thunk evaluating the same rows one-by-one through
-        the scalar path (always correct, already clamped).
+        the scalar path (always correct, already clamped when ``clamp``).
     n:
         Number of batch rows.
     status:
@@ -42,12 +43,17 @@ def validated_batch_eval(batch_fn: Callable, scalar_fn: Callable, n: int,
         rows.  On an all-identical batch, normalisation-invariant
         pooling mistakes (``np.mean`` over all rows) coincide with the
         correct value, so validating there would wrongly bless them.
+    clamp:
+        Clamp batched values non-negative (the SSA rate convention).
+        Drift evaluations pass ``False``: the drift uses the *raw* rates
+        so it stays smooth across the state-space boundary, and the
+        scalar reference path is then expected to be unclamped too.
 
     Returns
     -------
-    ``(values, new_status)`` — ``values`` of shape ``(n,)`` clamped
-    non-negative, and the updated tri-state (``None`` means "still
-    unknown", i.e. validation was deferred).
+    ``(values, new_status)`` — ``values`` of shape ``(n,)`` (clamped
+    non-negative when ``clamp``), and the updated tri-state (``None``
+    means "still unknown", i.e. validation was deferred).
     """
     if status is False or (status is None and not can_validate):
         return scalar_fn(), status
@@ -59,14 +65,14 @@ def validated_batch_eval(batch_fn: Callable, scalar_fn: Callable, n: int,
             raise ValueError("batched rate has wrong shape")
     except Exception:
         return scalar_fn(), False
-    clamped = np.maximum(raw, 0.0)
+    values = np.maximum(raw, 0.0) if clamp else raw
     if status is None:
         scalar = scalar_fn()
-        if not np.allclose(clamped, scalar, rtol=1e-9, atol=1e-12,
+        if not np.allclose(values, scalar, rtol=1e-9, atol=1e-12,
                            equal_nan=True):
             return scalar, False
-        return clamped, True
-    return clamped, True
+        return values, True
+    return values, True
 
 
 def numeric_jacobian(f: Callable, x, eps: float = 1e-7) -> np.ndarray:

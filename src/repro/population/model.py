@@ -44,6 +44,18 @@ class PopulationModel:
         three paper models are affine in ``theta``; declaring the
         decomposition unlocks closed-form extremisation (bang-bang
         Hamiltonian maximisers, corner-based hulls).
+    affine_drift_batch:
+        Optional *batched* form of ``affine_drift``: a callable
+        ``X -> (g0s, Gs)`` mapping a row-major state stack ``(n, d)``
+        to ``g0s`` of shape ``(n, d)`` and ``Gs`` of shape
+        ``(n, d, p)``.  Declaring it lets
+        :meth:`affine_parts_batch` — the hot path of every batched
+        bound computation (differential hull RHS, Pontryagin
+        Hamiltonian re-maximisation) — evaluate whole candidate stacks
+        in a handful of NumPy calls instead of one Python call per row.
+        The first batched call is spot-checked against the scalar
+        decomposition; without the declaration ``affine_parts_batch``
+        falls back to a per-row loop (correct, not fast).
     drift_jacobian:
         Optional analytic Jacobian ``(x, theta) -> (d, d)`` of the drift
         in ``x``; finite differences are used when absent.
@@ -70,6 +82,7 @@ class PopulationModel:
         transitions: Sequence[Transition],
         theta_set: ParameterSet,
         affine_drift: Optional[Callable] = None,
+        affine_drift_batch: Optional[Callable] = None,
         drift_jacobian: Optional[Callable] = None,
         state_bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
         conservations: Optional[List[Tuple[Sequence[float], float]]] = None,
@@ -94,6 +107,13 @@ class PopulationModel:
             raise TypeError("theta_set must be a ParameterSet")
         self.theta_set = theta_set
         self._affine_drift = affine_drift
+        self._affine_drift_batch = affine_drift_batch
+        if affine_drift_batch is not None and affine_drift is None:
+            raise ValueError(
+                "affine_drift_batch requires the scalar affine_drift "
+                "(the batched form is validated against it)"
+            )
+        self._affine_batch_checked = False
         self._drift_jacobian = drift_jacobian
         if state_bounds is not None:
             lower, upper = state_bounds
@@ -120,10 +140,11 @@ class PopulationModel:
                     f"observable {obs_name!r} weights must match state dimension"
                 )
             self.observables[str(obs_name)] = w
-        # Per-transition cache of whether the rate function accepts the
+        # Per-transition caches of whether the rate function accepts the
         # batched (coordinate-major) calling convention; populated lazily
-        # by transition_rates_batch.
+        # by transition_rates_batch (clamped) and drift_batch (raw).
         self._batch_rate_ok: dict = {}
+        self._batch_drift_ok: dict = {}
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -255,6 +276,53 @@ class PopulationModel:
             out += tr.change * float(tr.rate(x, theta))
         return out
 
+    def drift_batch(self, x, theta) -> np.ndarray:
+        """The imprecise drift for a batch of ``(state, parameter)`` rows.
+
+        Parameters
+        ----------
+        x:
+            Batch of normalised states, shape ``(n, d)``.
+        theta:
+            Batch of parameter vectors, shape ``(n, p)`` (one per row).
+
+        Returns
+        -------
+        Drift vectors of shape ``(n, d)``.
+
+        Notes
+        -----
+        Like :meth:`drift` — and unlike :meth:`transition_rates_batch` —
+        the rates are used *raw* (unclamped), so the batched drift is
+        smooth across the state-space boundary and agrees with the
+        scalar drift row-by-row.  Rate functions are evaluated
+        coordinate-major (see :meth:`transition_rates_batch`) with the
+        same lazy per-transition validation and per-row fallback.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        theta = np.atleast_2d(np.asarray(theta, dtype=float))
+        n = x.shape[0]
+        out = np.zeros((n, self.dim))
+        x_t, theta_t = x.T, theta.T
+        can_validate = n >= 2 and (
+            bool(np.any(x != x[0])) or bool(np.any(theta != theta[0]))
+        )
+        for e, tr in enumerate(self.transitions):
+            vals, status = validated_batch_eval(
+                lambda: tr.rate(x_t, theta_t),
+                lambda: np.array(
+                    [float(tr.rate(x[r], theta[r])) for r in range(n)]
+                ),
+                n,
+                self._batch_drift_ok.get(e),
+                can_validate,
+                clamp=False,
+            )
+            if status is not None:
+                self._batch_drift_ok[e] = status
+            out += vals[:, None] * tr.change[None, :]
+        return out
+
     def drift_fn(self, theta) -> Callable:
         """Freeze ``theta`` and return the autonomous drift ``x -> f(x, theta)``."""
         theta = np.asarray(theta, dtype=float)
@@ -283,6 +351,68 @@ class PopulationModel:
                 f"affine G has shape {big_g.shape}, expected ({self.dim}, {self.theta_dim})"
             )
         return g0, big_g
+
+    def affine_parts_batch(self, x) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched affine decomposition: ``(g0s, Gs)`` for a state stack.
+
+        Parameters
+        ----------
+        x:
+            Row-major batch of states, shape ``(n, d)``.
+
+        Returns
+        -------
+        ``g0s`` of shape ``(n, d)`` and ``Gs`` of shape ``(n, d, p)``
+        with ``drift(x[r], theta) = g0s[r] + Gs[r] @ theta`` for every
+        row and every admissible ``theta``.
+
+        Uses the declared ``affine_drift_batch`` when available (one
+        vectorized call; its first use is spot-checked against the
+        scalar decomposition, and a mismatch raises — a wrong affine
+        decomposition silently corrupts every bound computed from it).
+        Falls back to a per-row loop over :meth:`affine_parts`
+        otherwise.
+        """
+        if self._affine_drift is None:
+            raise ValueError(f"model {self.name!r} declares no affine decomposition")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        n = x.shape[0]
+        if self._affine_drift_batch is not None:
+            if self._affine_batch_checked:
+                return self._affine_drift_batch(x)
+            g0s, big_gs = self._affine_drift_batch(x)
+            g0s = np.asarray(g0s, dtype=float)
+            big_gs = np.asarray(big_gs, dtype=float)
+            if g0s.shape != (n, self.dim):
+                raise ValueError(
+                    f"batched affine g0 has shape {g0s.shape}, "
+                    f"expected ({n}, {self.dim})"
+                )
+            if big_gs.shape != (n, self.dim, self.theta_dim):
+                raise ValueError(
+                    f"batched affine G has shape {big_gs.shape}, "
+                    f"expected ({n}, {self.dim}, {self.theta_dim})"
+                )
+            if not self._affine_batch_checked and n:
+                for r in {0, n - 1}:
+                    g0, big_g = self.affine_parts(x[r])
+                    if not (
+                        np.allclose(g0, g0s[r], rtol=1e-9, atol=1e-12)
+                        and np.allclose(big_g, big_gs[r], rtol=1e-9, atol=1e-12)
+                    ):
+                        raise ValueError(
+                            f"model {self.name!r}: affine_drift_batch disagrees "
+                            f"with affine_drift at x={x[r].tolist()}"
+                        )
+                self._affine_batch_checked = True
+            return g0s, big_gs
+        g0s = np.empty((n, self.dim))
+        big_gs = np.empty((n, self.dim, self.theta_dim))
+        for r in range(n):
+            g0s[r], big_gs[r] = self.affine_parts(x[r])
+        return g0s, big_gs
 
     def jacobian_x(self, x, theta) -> np.ndarray:
         """Jacobian of the drift in ``x`` (analytic when declared)."""

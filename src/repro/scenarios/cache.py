@@ -38,6 +38,7 @@ _ENV_VAR = "REPRO_CACHE_DIR"
 
 #: Cache entries are named ``<16-hex-digit spec hash>.json``.
 _HASH_NAME = re.compile(r"[0-9a-f]{16}\.json")
+_TMP_NAME = re.compile(r"[0-9a-f]{16}-.*\.tmp")
 
 
 def cache_dir(override: Union[str, pathlib.Path, None] = None) -> pathlib.Path:
@@ -131,8 +132,12 @@ def clear_cache(directory: Union[str, pathlib.Path, None] = None,
     root = cache_dir(directory)
     if not root.is_dir():
         return 0
-    for leftover in root.glob("*.tmp"):  # sweep crashed writers' debris
-        leftover.unlink(missing_ok=True)
+    # Sweep crashed writers' debris — but only files matching our own
+    # mkstemp pattern ("<16-hex-hash>-*.tmp"); an arbitrary *.tmp in a
+    # user-supplied directory is not ours to delete.
+    for leftover in root.glob("*.tmp"):
+        if _TMP_NAME.match(leftover.name):
+            leftover.unlink(missing_ok=True)
     removed = 0
     for path in root.glob("*.json"):
         try:

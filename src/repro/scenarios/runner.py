@@ -119,7 +119,7 @@ def _run_pontryagin(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         horizons = np.linspace(spec.horizon / n, spec.horizon, n)
     horizons = np.asarray(horizons, dtype=float)
     kwargs = {}
-    for key in ("steps_per_unit", "min_steps", "max_iter", "tol"):
+    for key in ("steps_per_unit", "min_steps", "max_iter", "tol", "batch"):
         if key in opts:
             kwargs[key] = opts[key]
     if "sides" in opts:
@@ -147,7 +147,8 @@ def _run_hull(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         times = np.linspace(0.0, spec.horizon, int(opts.get("n_times", 13)))
     times = np.asarray(times, dtype=float)
     kwargs = {}
-    for key in ("x_samples_per_axis", "blowup_threshold", "rtol", "atol"):
+    for key in ("x_samples_per_axis", "blowup_threshold", "rtol", "atol",
+                "theta_method", "batch"):
         if key in opts:
             kwargs[key] = opts[key]
     hull = differential_hull_bounds(model, spec.x0, times, **kwargs)
@@ -176,6 +177,8 @@ def _run_template(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
     for key in ("n_steps", "max_iter"):
         if key in opts:
             kwargs[key] = int(opts[key])
+    if "batch" in opts:
+        kwargs["batch"] = bool(opts["batch"])
     polytope = template_reachable_bounds(
         model, spec.x0, float(opts.get("horizon", spec.horizon)),
         directions=directions, **kwargs

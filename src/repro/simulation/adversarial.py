@@ -29,6 +29,13 @@ def policy_from_controls(result) -> PiecewiseConstantPolicy:
     ``result`` is a :class:`~repro.bounds.PontryaginResult`; consecutive
     grid intervals with equal controls are merged into single schedule
     pieces (bang-bang signals collapse to a handful of pieces).
+
+    Convention note: a schedule piece takes effect *at* its start time
+    (``PiecewiseConstantPolicy.theta`` is right-continuous — the natural
+    semantics for driving a simulation forward), whereas
+    ``PontryaginResult.control_at`` reports the left limit at switch
+    knots.  The two agree everywhere except exactly at the (measure
+    zero) switching times.
     """
     times = result.times
     controls = result.controls

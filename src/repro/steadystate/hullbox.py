@@ -45,6 +45,7 @@ def hull_steady_rectangle(
     horizon: float = 200.0,
     residual_window: float = 0.05,
     residual_tol: float = 1e-6,
+    batch: bool = True,
     **hull_kwargs,
 ) -> HullRectangle:
     """Integrate the hull pair to stationarity (or detect divergence).
@@ -60,12 +61,18 @@ def hull_steady_rectangle(
         is assessed.
     residual_tol:
         Maximum bound movement over the window for ``converged=True``.
+    batch:
+        Integrate the hull through the batched extremiser RHS (the
+        default; the long stationarity horizon makes this the most
+        extremisation-heavy workload in the library).  ``batch=False``
+        selects the legacy per-corner loop.
     hull_kwargs:
         Forwarded to the hull integrator (sampling, refinement, blow-up
         threshold, ...).
     """
     t_eval = np.linspace(0.0, float(horizon), 401)
-    bounds = differential_hull_bounds(model, x0, t_eval, **hull_kwargs)
+    bounds = differential_hull_bounds(model, x0, t_eval, batch=batch,
+                                      **hull_kwargs)
     window = max(2, int(np.ceil(residual_window * t_eval.shape[0])))
     tail_lower = bounds.lower[-window:]
     tail_upper = bounds.upper[-window:]

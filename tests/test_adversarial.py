@@ -26,10 +26,28 @@ class TestPolicyFromControls:
     def test_policy_replays_control_signal(self, sir_extremal):
         _, result = sir_extremal
         policy = policy_from_controls(result)
-        for t in (0.0, 1.0, 2.0, 2.9):
+        # Probe strictly inside each schedule piece, where the policy's
+        # right-continuous lookup and control_at's left-continuous one
+        # must agree (exact switch knots are the documented exception).
+        starts = list(policy._starts) + [float(result.times[-1])]
+        for left, right in zip(starts[:-1], starts[1:]):
+            t = 0.5 * (left + right)
             np.testing.assert_allclose(
                 policy.theta(t, None), result.control_at(t), atol=1e-9
             )
+
+    def test_policy_and_control_at_conventions_at_knots(self, sir_extremal):
+        """At a switch knot the policy applies the *new* piece while
+        control_at reports the left limit — pin both sides explicitly."""
+        _, result = sir_extremal
+        policy = policy_from_controls(result)
+        assert len(policy._starts) >= 2, "expected at least one switch"
+        for k in range(1, len(policy._starts)):
+            t_switch = float(policy._starts[k])
+            np.testing.assert_allclose(policy.theta(t_switch, None),
+                                       policy._thetas[k])
+            np.testing.assert_allclose(result.control_at(t_switch),
+                                       policy._thetas[k - 1])
 
     def test_replay_through_inclusion_attains_value(self, sir_extremal):
         from repro.inclusion import ParametricInclusion

@@ -86,6 +86,18 @@ class TestFig4HullGolden:
         np.testing.assert_allclose(fig4_hull.upper, FIG4_UPPER, rtol=1e-4,
                                    atol=1e-8)
 
+    def test_hull_scalar_path_matches_batched_pin(self, fig4_hull):
+        """The legacy scalar-extremization hull hits the same pins, and
+        agrees with the default batched path bit-for-bit."""
+        scalar = differential_hull_bounds(make_sir_model(), X0, FIG4_T_EVAL,
+                                          batch=False)
+        np.testing.assert_allclose(scalar.lower, FIG4_LOWER, rtol=1e-4,
+                                   atol=1e-8)
+        np.testing.assert_allclose(scalar.upper, FIG4_UPPER, rtol=1e-4,
+                                   atol=1e-8)
+        np.testing.assert_array_equal(scalar.lower, fig4_hull.lower)
+        np.testing.assert_array_equal(scalar.upper, fig4_hull.upper)
+
     def test_hull_brackets_fig1_pins(self, fig4_hull):
         # The hull is a relaxation: at matching times its I-range must
         # contain the exact Pontryagin range (cross-check of the two

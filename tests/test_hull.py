@@ -91,6 +91,42 @@ class TestHullHelpers:
         np.testing.assert_allclose(lo, expected_lo)
         np.testing.assert_allclose(hi, expected_hi)
 
+    def test_observable_bounds_zero_weight_on_diverged_rows(self):
+        """Regression: ``±inf · 0`` must not poison diverged rows with NaN.
+
+        Any weight vector with a zero entry used to produce NaN bounds
+        (and a RuntimeWarning) on every row past the hull blowup; the
+        honest answer is ``(-inf, +inf)`` there.
+        """
+        import warnings
+
+        from repro.bounds import HullBounds
+
+        bounds = HullBounds(
+            times=np.array([0.0, 1.0]),
+            lower=np.array([[0.2, 0.1], [-np.inf, -np.inf]]),
+            upper=np.array([[0.4, 0.3], [np.inf, np.inf]]),
+            state_names=("S", "I"),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            lo, hi = bounds.observable_bounds([1.0, 0.0])
+        np.testing.assert_allclose(lo[0], 0.2)
+        np.testing.assert_allclose(hi[0], 0.4)
+        assert lo[1] == -np.inf and hi[1] == np.inf
+
+    def test_observable_bounds_after_blowup_end_to_end(self):
+        """The confirmed repro: coordinate observables of a diverged hull."""
+        model = make_sir_model(theta_max=10.0)
+        hull = differential_hull_bounds(model, [0.7, 0.3],
+                                        np.linspace(0, 10, 41),
+                                        blowup_threshold=5.0)
+        for weights in ([1.0, 0.0], [0.0, 1.0]):
+            lo, hi = hull.observable_bounds(weights)
+            assert not np.isnan(lo).any()
+            assert not np.isnan(hi).any()
+            assert lo[-1] == -np.inf and hi[-1] == np.inf
+
     def test_width_helper(self, sir_narrow):
         hull = differential_hull_bounds(sir_narrow, [0.7, 0.3],
                                         np.linspace(0, 2, 9))

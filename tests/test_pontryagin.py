@@ -158,6 +158,25 @@ class TestSweepMechanics:
         np.testing.assert_allclose(res.control_at(1.99), res.controls[-1])
         np.testing.assert_allclose(res.control_at(5.0), res.controls[-1])
 
+    def test_control_at_left_continuous_at_grid_points(self, sir_model, sir_x0):
+        """Regression: the lookup is documented left-continuous, but the
+        ``side="right"`` searchsorted made it right-continuous at exact
+        grid times — at a bang-bang switch knot it reported the *next*
+        interval's control instead of the one driving into the knot."""
+        res = extremal_trajectory(sir_model, sir_x0, 3.0, [0.0, 1.0],
+                                  n_steps=300)
+        jumps = np.abs(np.diff(res.controls[:, 0]))
+        k = int(np.argmax(jumps)) + 1
+        assert jumps[k - 1] > 0.5, "expected a bang-bang switch"
+        t_k = res.times[k]
+        np.testing.assert_allclose(res.control_at(t_k), res.controls[k - 1])
+        np.testing.assert_allclose(res.control_at(t_k + 1e-9), res.controls[k])
+        # Clamping at the ends is unchanged.
+        np.testing.assert_allclose(res.control_at(res.times[0]),
+                                   res.controls[0])
+        np.testing.assert_allclose(res.control_at(res.times[-1]),
+                                   res.controls[-1])
+
     def test_trajectory_property(self, sir_model, sir_x0):
         res = extremal_trajectory(sir_model, sir_x0, 1.0, [0.0, 1.0],
                                   n_steps=60)

@@ -287,9 +287,14 @@ class TestRunScenario:
 
         run_scenario("bike-station", cache_dir=str(tmp_path))
         assert list(tmp_path.glob("*.tmp")) == []
-        (tmp_path / "deadbeef.tmp").write_text("crashed writer debris")
+        # Crashed-writer debris carries the store's own mkstemp naming
+        # ("<16-hex-hash>-<random>.tmp"); the sweep removes it...
+        (tmp_path / ("ab" * 8 + "-x1y2z3.tmp")).write_text("writer debris")
+        # ...but an arbitrary user *.tmp in the directory is not ours.
+        foreign = tmp_path / "editor-swap.tmp"
+        foreign.write_text("keep me")
         clear_cache(str(tmp_path))
-        assert list(tmp_path.glob("*")) == []
+        assert list(tmp_path.glob("*")) == [foreign]
 
     def test_clear_cache_removes_corrupt_entries_but_not_user_files(
             self, tmp_path):

@@ -60,6 +60,26 @@ class TestTemplatePolytope:
         poly = TemplatePolytope(np.array([[1.0, 0.0]]), np.array([1.0]))
         assert poly.bounding_box() is None
 
+    def test_support_duplicate_direction_reports_tightest(self):
+        """Regression: ``intersect`` stacks duplicate directions, and
+        ``support`` used to return the *first* matching row's offset —
+        the loosest halfspace (offsets 5.0 then 2.0 returned 5.0)."""
+        loose = TemplatePolytope(np.array([[1.0, 0.0]]), np.array([5.0]))
+        tight = TemplatePolytope(np.array([[1.0, 0.0]]), np.array([2.0]))
+        assert loose.intersect(tight).support([1.0, 0.0]) == pytest.approx(2.0)
+        assert tight.intersect(loose).support([1.0, 0.0]) == pytest.approx(2.0)
+
+    def test_bounding_box_inherits_tightest_offsets(self):
+        """``bounding_box`` reads supports, so it must see the min too."""
+        wide = self.unit_box()
+        narrow = TemplatePolytope(
+            np.vstack([np.eye(2), -np.eye(2)]),
+            np.array([0.5, 0.25, 0.75, 1.0]),
+        )
+        lower, upper = wide.intersect(narrow).bounding_box()
+        np.testing.assert_allclose(upper, [0.5, 0.25])
+        np.testing.assert_allclose(lower, [-0.75, -1.0])
+
     def test_intersect_stacks(self):
         a = self.unit_box()
         b = TemplatePolytope(np.array([[1.0, 1.0]]), np.array([0.5]))
