@@ -35,6 +35,17 @@ def timed(fn, *args, **kwargs):
     return result, time.perf_counter() - start
 
 
+def best_of(fn, repeats: int):
+    """Minimum wall time over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
 def record_timing(experiment_id: str, seconds: float, **extra) -> None:
     """Merge one experiment's wall-clock time into the timing summary.
 

@@ -31,7 +31,7 @@ import time
 
 import numpy as np
 
-from _common import RESULTS_DIR
+from _common import RESULTS_DIR, best_of
 from repro.bounds import differential_hull_bounds, pontryagin_transient_bounds
 from repro.models import make_sir_model
 
@@ -46,17 +46,6 @@ FIG4_T_EVAL = np.linspace(0.0, 1.5, 7)
 FIG1_HORIZONS = np.array([0.5, 1.0, 2.0, 3.0])
 
 
-def _best_of(fn, repeats: int):
-    """Minimum wall time over ``repeats`` runs, plus the last result."""
-    best = np.inf
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
 def bench_fig4_hull(smoke: bool) -> dict:
     model = make_sir_model()
     repeats = 1 if smoke else 5
@@ -66,8 +55,8 @@ def bench_fig4_hull(smoke: bool) -> dict:
 
     # Warm both paths (lazy batch validation, numpy caches).
     run(True), run(False)
-    batched_s, batched = _best_of(lambda: run(True), repeats)
-    scalar_s, scalar = _best_of(lambda: run(False), repeats)
+    batched_s, batched = best_of(lambda: run(True), repeats)
+    scalar_s, scalar = best_of(lambda: run(False), repeats)
     assert np.array_equal(batched.lower, scalar.lower), "hull modes diverged"
     assert np.array_equal(batched.upper, scalar.upper), "hull modes diverged"
     return {
@@ -90,8 +79,8 @@ def bench_fig1_pontryagin(smoke: bool) -> dict:
             steps_per_unit=steps_per_unit, batch=batch,
         )
 
-    batched_s, batched = _best_of(lambda: run(True), repeats)
-    scalar_s, scalar = _best_of(lambda: run(False), repeats)
+    batched_s, batched = best_of(lambda: run(True), repeats)
+    scalar_s, scalar = best_of(lambda: run(False), repeats)
     assert np.array_equal(batched.lower["I"], scalar.lower["I"])
     assert np.array_equal(batched.upper["I"], scalar.upper["I"])
     return {
@@ -125,10 +114,10 @@ def bench_fig1_hamiltonian_remax(smoke: bool) -> dict:
     repeats = 3 if smoke else 20
     batched.maximize_direction_batch(states, costates)  # warm validation
 
-    batched_s, (thetas_b, values_b) = _best_of(
+    batched_s, (thetas_b, values_b) = best_of(
         lambda: batched.maximize_direction_batch(states, costates), repeats
     )
-    scalar_s, (thetas_s, values_s) = _best_of(
+    scalar_s, (thetas_s, values_s) = best_of(
         lambda: scalar.maximize_direction_batch(states, costates), repeats
     )
     assert np.array_equal(thetas_b, thetas_s)

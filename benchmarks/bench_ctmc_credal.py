@@ -1,0 +1,201 @@
+"""Credal-operator hot path — scalar vs batched interval-DTMC kernels.
+
+The imprecise-CTMC layer reduces to two primitives: the row-knapsack
+upper-expectation operator of Škulj's interval DTMCs, and the
+constant-theta sweep of the master equation.  This bench measures what
+batching each of them buys:
+
+- **operator_100x50**: 50 steps of value iteration on a random
+  100-state interval chain.  The legacy path runs one Python knapsack
+  loop per state per step; the batched kernel solves all row knapsacks
+  of a step in one argsort + cumulative-subtraction pass.
+- **uniformized_bike**: both-direction expectation bounds on the
+  uniformized bike-station chain (N = 12) over its natural ~1-horizon
+  step count — the workload of the interval-DTMC ablation.
+- **sweep_block_ode**: ``uncertain_reward_envelope`` on the bike chain
+  — one block ODE over the whole theta stack vs one ``solve_ivp`` call
+  per theta.
+- **sweep_rk4_batch**: the mean-field ``uncertain_envelope`` RK4 path
+  on SIR — one ``drift_batch`` call per RK4 stage vs one Python
+  callback per theta per stage.
+
+The DTMC kernels and the RK4 sweep must produce bit-identical results
+in both modes — the bench asserts it — so the timing difference is pure
+batching overhead; the block ODE shares its adaptive step sequence
+across lanes and is compared at integration accuracy.  Results land in
+``benchmarks/results/BENCH_ctmc.json``.
+
+Run directly (``--smoke`` for the CI-sized variant)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_ctmc_credal.py [--smoke]
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from _common import RESULTS_DIR, best_of
+from repro.bounds import uncertain_envelope
+from repro.ctmc import ImpreciseCTMC, IntervalDTMC, uncertain_reward_envelope
+from repro.ctmc.interval_dtmc import random_interval_dtmc
+from repro.models import make_bike_station_model, make_sir_model
+
+BENCH_PATH = RESULTS_DIR / "BENCH_ctmc.json"
+
+
+def bench_operator_100x50(smoke: bool) -> dict:
+    n_states = 40 if smoke else 100
+    steps = 10 if smoke else 50
+    repeats = 1 if smoke else 3
+    rng = np.random.default_rng(2016)
+    dtmc = random_interval_dtmc(n_states, rng, width=0.05)
+    reward = rng.normal(size=n_states)
+
+    batched_s, batched = best_of(
+        lambda: dtmc.expectation_bounds(reward, steps), repeats
+    )
+    scalar_s, scalar = best_of(
+        lambda: dtmc.expectation_bounds(reward, steps, batch=False), repeats
+    )
+    assert np.array_equal(batched[0], scalar[0]), "lower bounds diverged"
+    assert np.array_equal(batched[1], scalar[1]), "upper bounds diverged"
+    return {
+        "n_states": n_states,
+        "steps": steps,
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+        "identical_bounds": True,
+    }
+
+
+def bench_uniformized_bike(smoke: bool) -> dict:
+    n_racks = 8 if smoke else 12
+    repeats = 1 if smoke else 3
+    model = make_bike_station_model()
+    chain = ImpreciseCTMC(model.instantiate(n_racks, [0.5]))
+    dtmc, rate = IntervalDTMC.from_imprecise_ctmc(chain)
+    steps = int(np.ceil(1.0 * rate))
+    reward = chain.densities()[:, 0]
+
+    batched_s, batched = best_of(
+        lambda: dtmc.expectation_bounds(reward, steps), repeats
+    )
+    scalar_s, scalar = best_of(
+        lambda: dtmc.expectation_bounds(reward, steps, batch=False), repeats
+    )
+    assert np.array_equal(batched[0], scalar[0])
+    assert np.array_equal(batched[1], scalar[1])
+    return {
+        "n_states": chain.n_states,
+        "steps": steps,
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+        "identical_bounds": True,
+    }
+
+
+def bench_sweep_block_ode(smoke: bool) -> dict:
+    n_racks = 6 if smoke else 10
+    resolution = 5 if smoke else 9
+    repeats = 1 if smoke else 3
+    model = make_bike_station_model()
+    chain = ImpreciseCTMC(model.instantiate(n_racks, [0.5]))
+    reward = chain.densities()[:, 0]
+    t_eval = np.linspace(0.0, 2.0, 9)
+
+    def run(batch):
+        return uncertain_reward_envelope(
+            chain, reward, t_eval, resolution=resolution, batch=batch
+        )
+
+    batched_s, batched = best_of(lambda: run(True), repeats)
+    scalar_s, scalar = best_of(lambda: run(False), repeats)
+    deviation = max(
+        float(np.max(np.abs(batched[1] - scalar[1]))),
+        float(np.max(np.abs(batched[2] - scalar[2]))),
+    )
+    assert deviation < 1e-8, f"block ODE deviated by {deviation:.2e}"
+    theta_set = chain.model.theta_set
+    n_thetas = np.unique(
+        np.vstack([theta_set.grid(resolution), theta_set.corners()]), axis=0
+    ).shape[0]
+    return {
+        "n_states": chain.n_states,
+        "n_thetas": int(n_thetas),
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+        "max_deviation": deviation,
+        "note": "adaptive steps are shared across lanes, so agreement "
+                "is at solver accuracy rather than bit-for-bit",
+    }
+
+
+def bench_sweep_rk4_batch(smoke: bool) -> dict:
+    resolution = 9 if smoke else 21
+    rk4_steps = 100 if smoke else 400
+    repeats = 1 if smoke else 3
+    model = make_sir_model()
+    t_eval = np.linspace(0.0, 3.0, 7)
+
+    def run(batch):
+        return uncertain_envelope(
+            model, [0.7, 0.3], t_eval, resolution=resolution,
+            integrator="rk4", rk4_steps=rk4_steps, batch=batch,
+        )
+
+    batched_s, batched = best_of(lambda: run(True), repeats)
+    scalar_s, scalar = best_of(lambda: run(False), repeats)
+    for name in batched.observable_names:
+        assert np.array_equal(batched.lower[name], scalar.lower[name])
+        assert np.array_equal(batched.upper[name], scalar.upper[name])
+    return {
+        "n_thetas": int(batched.thetas.shape[0]),
+        "rk4_steps": rk4_steps,
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+        "identical_bounds": True,
+    }
+
+
+WORKLOADS = {
+    "operator_100x50": bench_operator_100x50,
+    "uniformized_bike": bench_uniformized_bike,
+    "sweep_block_ode": bench_sweep_block_ode,
+    "sweep_rk4_batch": bench_sweep_rk4_batch,
+}
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller chains, one repeat); "
+                             "timings are not archived")
+    args = parser.parse_args(argv)
+
+    summary = {"smoke": bool(args.smoke), "recorded_unix": int(time.time())}
+    for name, fn in WORKLOADS.items():
+        entry = summary[name] = fn(args.smoke)
+        print(f"{name}: scalar {entry['scalar_seconds']:.3f}s  "
+              f"batched {entry['batched_seconds']:.3f}s  "
+              f"speedup {entry['speedup']:.2f}x")
+    if not args.smoke:
+        if summary["operator_100x50"]["speedup"] < 5.0:
+            raise SystemExit(
+                "operator_100x50 speedup fell below the 5x target: "
+                f"{summary['operator_100x50']['speedup']:.2f}x"
+            )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BENCH_PATH.write_text(json.dumps(summary, indent=1, sort_keys=True)
+                              + "\n")
+        print(f"wrote {BENCH_PATH}")
+    return summary
+
+
+if __name__ == "__main__":
+    main()

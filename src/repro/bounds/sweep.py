@@ -22,7 +22,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.ode import rk4_integrate, solve_ode
+from repro.ode import rk4_integrate, rk4_step, solve_ode
 
 __all__ = ["UncertainEnvelope", "uncertain_envelope"]
 
@@ -93,6 +93,31 @@ def _resolve_weights(model, observables) -> Dict[str, np.ndarray]:
     return weights
 
 
+def _rk4_sweep_batch(model, x0, rk4_grid, thetas) -> np.ndarray:
+    """Advance every constant-theta lane through one shared RK4 grid.
+
+    Returns the state stack of shape ``(m, n_grid, d)``.  Each RK4 step
+    is a single :meth:`drift_batch` evaluation over the ``(m, d)`` state
+    matrix — the per-lane arithmetic is element-wise identical to the
+    scalar path, so lanes match one-theta-at-a-time integration bit for
+    bit.
+    """
+    thetas = np.asarray(thetas, dtype=float)
+    m = thetas.shape[0]
+    x = np.broadcast_to(np.asarray(x0, dtype=float), (m, model.dim)).copy()
+    states = np.empty((m, rk4_grid.shape[0], model.dim))
+    states[:, 0, :] = x
+
+    def field(t, state_stack):
+        return model.drift_batch(state_stack, thetas)
+
+    for i in range(rk4_grid.shape[0] - 1):
+        dt = rk4_grid[i + 1] - rk4_grid[i]
+        x = rk4_step(field, rk4_grid[i], x, dt)
+        states[:, i + 1, :] = x
+    return states
+
+
 def uncertain_envelope(
     model,
     x0,
@@ -103,6 +128,7 @@ def uncertain_envelope(
     atol: float = 1e-10,
     integrator: str = "adaptive",
     rk4_steps: int = 400,
+    batch: bool = True,
 ) -> UncertainEnvelope:
     """Sweep constant parameters and envelope the observables.
 
@@ -130,6 +156,13 @@ def uncertain_envelope(
         surface and the solve never returns); the fixed-step integrator
         crosses the discontinuity with bounded chatter instead, exactly
         as the Pontryagin forward sweeps do.
+    batch:
+        With the ``rk4`` integrator, advance all thetas simultaneously —
+        one :meth:`drift_batch` call per RK4 stage instead of one Python
+        callback per theta per stage.  Bit-identical to the scalar loop
+        (kept behind ``batch=False`` for differential testing); the
+        adaptive integrator ignores the flag, as its per-theta step-size
+        control cannot be shared across lanes.
     """
     t_eval = np.asarray(t_eval, dtype=float)
     if t_eval.ndim != 1 or t_eval.shape[0] < 1:
@@ -147,23 +180,43 @@ def uncertain_envelope(
     t_span = (float(t_eval[0]), float(t_eval[-1]))
     if integrator not in ("adaptive", "rk4"):
         raise ValueError(f"unknown integrator {integrator!r}")
+    descending = t_span[0] > t_span[1]
     rk4_grid = None
     if integrator == "rk4" and t_span[0] != t_span[1]:
         rk4_grid = np.union1d(
             np.linspace(t_span[0], t_span[1], int(rk4_steps) + 1), t_eval
         )
-    for k, theta in enumerate(thetas):
-        if t_span[0] == t_span[1]:
-            states = np.asarray(x0, float)[None, :].repeat(n_t, axis=0)
-        elif rk4_grid is not None:
-            traj = rk4_integrate(model.vector_field(theta), x0, rk4_grid)
-            states = traj(t_eval)
-        else:
-            traj = solve_ode(model.vector_field(theta), x0, t_span,
-                             t_eval=t_eval, rtol=rtol, atol=atol)
-            states = traj.states
+        if descending:
+            # union1d re-sorts ascending; restore the caller's direction
+            # so the fixed grid integrates backward from x0 at
+            # t_eval[0], exactly as the adaptive path does.
+            rk4_grid = rk4_grid[::-1]
+    if rk4_grid is not None and batch:
+        # t_eval points are grid members by construction, so selecting
+        # them exactly reproduces what np.interp returns at grid nodes.
+        ascending = rk4_grid[::-1] if descending else rk4_grid
+        pick = np.searchsorted(ascending, t_eval)
+        if descending:
+            pick = rk4_grid.shape[0] - 1 - pick
+        states_stack = _rk4_sweep_batch(model, x0, rk4_grid, thetas)[:, pick, :]
         for name, w in weights.items():
-            values[name][k] = states @ w
+            values[name] = states_stack @ w
+    else:
+        for k, theta in enumerate(thetas):
+            if t_span[0] == t_span[1]:
+                states = np.asarray(x0, float)[None, :].repeat(n_t, axis=0)
+            elif rk4_grid is not None:
+                traj = rk4_integrate(model.vector_field(theta), x0, rk4_grid)
+                if descending:
+                    # Trajectory interpolation needs ascending times.
+                    traj = traj.reversed_time()
+                states = traj(t_eval)
+            else:
+                traj = solve_ode(model.vector_field(theta), x0, t_span,
+                                 t_eval=t_eval, rtol=rtol, atol=atol)
+                states = traj.states
+            for name, w in weights.items():
+                values[name][k] = states @ w
 
     result = UncertainEnvelope(times=t_eval.copy(), thetas=thetas)
     for name in weights:

@@ -14,6 +14,11 @@ Definition 1 can be analysed exactly:
   inclusion ``P' in {Q(theta)^T P}``, so the same Pontryagin sweep that
   bounds mean-field observables bounds transient probabilities and
   expected rewards exactly.
+- :class:`IntervalDTMC` — Škulj-style interval DTMCs obtained by
+  uniformization, with batched credal operators (all row knapsacks of
+  a reward stack in one argsort + cumulative-subtraction pass) and
+  Poisson-mixed time-``t`` bounds that enclose the exact imprecise
+  bounds by construction.
 """
 
 from repro.ctmc.chain import ImpreciseCTMC

@@ -30,10 +30,18 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 import numpy as np
+from scipy import sparse
 
 from repro.bounds.pontryagin import PontryaginResult, extremal_trajectory
 from repro.ctmc.chain import ImpreciseCTMC
 from repro.ode import solve_ode
+
+
+def _csr_transpose(matrix) -> sparse.csr_matrix:
+    """The CSR transpose of a generator part, dense or sparse."""
+    if sparse.issparse(matrix):
+        return matrix.T.tocsr()
+    return sparse.csr_matrix(np.asarray(matrix, dtype=float).T)
 
 __all__ = [
     "KolmogorovSystem",
@@ -57,8 +65,8 @@ class KolmogorovSystem:
         self.chain = chain
         self.name = f"kolmogorov({chain.model.name})"
         q0, parts = chain.affine_generator_parts()
-        self._q0_t = q0.T.tocsr()
-        self._parts_t = [part.T.tocsr() for part in parts]
+        self._q0_t = _csr_transpose(q0)
+        self._parts_t = [_csr_transpose(part) for part in parts]
         self.theta_set = chain.model.theta_set
         self.state_names = tuple(
             "p_" + "_".join(str(v) for v in row) for row in chain.states
@@ -165,6 +173,7 @@ def uncertain_reward_envelope(
     t_eval,
     p0: Optional[np.ndarray] = None,
     resolution: int = 9,
+    batch: bool = True,
 ):
     """Envelope of ``r . P(t)`` over constant parameters (uncertain case).
 
@@ -172,21 +181,62 @@ def uncertain_reward_envelope(
     the master equation for each grid parameter — for interval chains
     this is the exact uncertain-CTMC transient envelope at the grid
     resolution.
+
+    The master equation is linear in ``P``, so with ``batch=True`` (the
+    default) all grid parameters are stacked into one block ODE over an
+    ``(m, n)`` state matrix and integrated in a single ``solve_ode``
+    call; ``batch=False`` keeps the legacy one-ODE-per-theta loop for
+    differential testing.  A degenerate horizon
+    (``t_eval[0] == t_eval[-1]``) returns the constant ``p0 . r``
+    envelope, matching :func:`repro.bounds.uncertain_envelope`;
+    descending grids are rejected — backward integration of a generator
+    is exponentially unstable and used to mis-integrate silently.
     """
     t_eval = np.asarray(t_eval, dtype=float)
+    if t_eval.ndim != 1 or t_eval.shape[0] < 1:
+        raise ValueError("t_eval must be a non-empty 1-D array")
+    if np.any(np.diff(t_eval) < 0):
+        raise ValueError(
+            "t_eval must be non-decreasing: the master equation is only "
+            "integrated forward in time (the backward problem is "
+            "exponentially unstable)"
+        )
     reward = np.asarray(reward, dtype=float)
+    if reward.shape != (chain.n_states,):
+        raise ValueError(
+            f"reward has shape {reward.shape}, expected ({chain.n_states},)"
+        )
     p0 = chain.initial_distribution if p0 is None else np.asarray(p0, float)
+    n_t = t_eval.shape[0]
+    if t_eval[0] == t_eval[-1]:
+        # Degenerate horizon: the mass never moves off p0.
+        flat = np.full(n_t, float(p0 @ reward))
+        return t_eval.copy(), flat, flat.copy()
     system = KolmogorovSystem(chain)
     thetas = np.vstack(
         [chain.model.theta_set.grid(resolution), chain.model.theta_set.corners()]
     )
     thetas = np.unique(thetas, axis=0)
-    values = np.empty((thetas.shape[0], t_eval.shape[0]))
-    for k, theta in enumerate(thetas):
+    m, n = thetas.shape[0], chain.n_states
+    if batch:
+        # Linearity of the master equation: the whole theta stack is one
+        # block ODE, one sparse matmul per generator part per RHS call.
+        def field(t, y):
+            return system.drift_batch(y.reshape(m, n), thetas).ravel()
+
         traj = solve_ode(
-            system.vector_field(theta), p0,
+            field, np.tile(p0, m),
             (float(t_eval[0]), float(t_eval[-1])), t_eval=t_eval,
             rtol=1e-9, atol=1e-11,
         )
-        values[k] = traj.states @ reward
+        values = (traj.states.reshape(n_t, m, n) @ reward).T
+    else:
+        values = np.empty((m, n_t))
+        for k, theta in enumerate(thetas):
+            traj = solve_ode(
+                system.vector_field(theta), p0,
+                (float(t_eval[0]), float(t_eval[-1])), t_eval=t_eval,
+                rtol=1e-9, atol=1e-11,
+            )
+            values[k] = traj.states @ reward
     return t_eval.copy(), values.min(axis=0), values.max(axis=0)

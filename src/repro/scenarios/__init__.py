@@ -15,6 +15,8 @@ each question to the right backend —
   the 2-D Birkhoff construction
 - ``ensemble``   → :func:`repro.engine.sweep_constant_ensembles`
   (vectorized finite-``N`` SSA)
+- ``dtmc_reward``→ :class:`repro.ctmc.IntervalDTMC` (uniformized
+  finite chain, batched credal operators)
 
 — fans independent questions over the engine's process-pool primitive,
 and memoizes the assembled :class:`~repro.reporting.ExperimentResult`

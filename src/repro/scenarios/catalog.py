@@ -3,9 +3,11 @@
 One declarative entry per model/question bundle the library answers out
 of the box: the paper's five case studies (SIR transient / hull /
 steady state, GPS Poisson and MAP) plus the extension workloads
-(SEIR, power-of-``d`` load balancing, finite-``N`` SIR ensembles, and
-the three scenario-catalog models: gossip spread, a repairable M/M/C
-pool, CDN content placement).
+(SEIR, power-of-``d`` load balancing, finite-``N`` SIR ensembles, the
+three scenario-catalog models — gossip spread, a repairable M/M/C
+pool, CDN content placement — and the finite-chain interval-DTMC
+scenarios that pin Škulj-style bounds against the exact imprecise
+Kolmogorov machinery).
 
 Importing this module registers everything; the registry triggers the
 import lazily on first lookup.  Question options are tuned so that a
@@ -27,6 +29,7 @@ from repro.models import (
     make_power_of_d_model,
     make_repairable_queue_model,
     make_seir_model,
+    make_sir_full_model,
     make_sir_model,
 )
 from repro.scenarios.registry import register_scenario
@@ -269,6 +272,68 @@ register_scenario(ScenarioSpec(
                 "paper's GPS example: certified queue bounds when both "
                 "the load and the failure process are adversarial.",
     tags=("extension", "queueing", "new-model"),
+))
+
+register_scenario(ScenarioSpec(
+    name="sir-dtmc-reward",
+    title="SIR at N = 6: interval-DTMC reward bounds vs the exact "
+          "imprecise Kolmogorov bounds",
+    model_factory=make_sir_full_model,
+    x0=(0.7, 0.3, 0.0),
+    horizon=1.5,
+    observables=("I",),
+    questions=(
+        Question("dtmc_reward",
+                 options={"population_size": 6, "n_steps": 120}),
+    ),
+    description="Uniformizes the enumerated finite-N SIR chain into a "
+                "Škulj interval DTMC (batched credal operators).  The "
+                "entry-wise relaxation forgets that one shared theta "
+                "drives every generator entry, so its bounds must "
+                "enclose — and visibly exceed — the exact Pontryagin "
+                "bounds on the master equation.",
+    tags=("extension", "sir", "ctmc", "dtmc"),
+))
+
+register_scenario(ScenarioSpec(
+    name="load-balancing-dtmc",
+    title="Power-of-two-choices at N = 6: finite-chain interval-DTMC "
+          "backlog bounds",
+    model_factory=make_power_of_d_model,
+    x0=(0.5, 0.0, 0.0),
+    horizon=2.0,
+    model_kwargs={"buffer_depth": 3},
+    observables=("mean_queue_length",),
+    questions=(
+        Question("dtmc_reward",
+                 options={"population_size": 6, "n_steps": 100}),
+    ),
+    description="The supermarket model small enough to enumerate "
+                "(monotone tail-count lattice): certified worst-case "
+                "backlog at finite N through the uniformized interval "
+                "chain, pinned conservative against the exact "
+                "imprecise-CTMC bounds.",
+    tags=("extension", "queueing", "ctmc", "dtmc"),
+))
+
+register_scenario(ScenarioSpec(
+    name="bike-dtmc-reward",
+    title="Bike station at N = 8: interval-DTMC occupancy bounds, "
+          "transient and stationary",
+    model_factory=make_bike_station_model,
+    x0=(0.5,),
+    horizon=3.0,
+    observables=("occupied",),
+    questions=(
+        Question("dtmc_reward",
+                 options={"population_size": 8, "stationary": True,
+                          "n_steps": 120}),
+    ),
+    description="The paper's running example as an interval DTMC: the "
+                "birth-death chain is regular, so Škulj's stationary "
+                "iteration flattens and yields long-run occupancy "
+                "bounds on top of the transient ones.",
+    tags=("paper", "bike", "ctmc", "dtmc"),
 ))
 
 register_scenario(ScenarioSpec(

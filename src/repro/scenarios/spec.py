@@ -29,6 +29,7 @@ QUESTION_KINDS = (
     "template",     # convex template polytope at the horizon
     "steadystate",  # hull rectangle + (2-D) Birkhoff centre (Fig. 3 / 5)
     "ensemble",     # finite-N vectorized SSA sweep over constant thetas
+    "dtmc_reward",  # finite-N interval-DTMC (Škulj) reward bounds
 )
 
 

@@ -179,6 +179,32 @@ class TestKolmogorovSystem:
         drift = system.drift(p, [1.1, 0.9])
         assert drift.sum() == pytest.approx(0.0, abs=1e-12)
 
+    def test_dense_generator_parts_accepted(self, bike_chain, rng):
+        """Regression: duck-typed chains with dense affine parts used to
+        crash on the assumed ``.tocsr()``."""
+
+        class DenseChain:
+            model = bike_chain.model
+            states = bike_chain.states
+            n_states = bike_chain.n_states
+            initial_distribution = bike_chain.initial_distribution
+
+            @staticmethod
+            def affine_generator_parts():
+                q0, parts = bike_chain.affine_generator_parts()
+                return q0.toarray(), [part.toarray() for part in parts]
+
+        dense = KolmogorovSystem(DenseChain())
+        sparse_sys = KolmogorovSystem(bike_chain)
+        p = rng.dirichlet(np.ones(11))
+        theta = np.array([1.05, 0.95])
+        np.testing.assert_array_equal(
+            dense.drift(p, theta), sparse_sys.drift(p, theta)
+        )
+        np.testing.assert_array_equal(
+            dense.jacobian_x(p, theta), sparse_sys.jacobian_x(p, theta)
+        )
+
 
 class TestRewardBounds:
     def test_imprecise_brackets_uncertain(self, bike_chain):
@@ -211,3 +237,30 @@ class TestRewardBounds:
         )
         assert np.all(lo <= hi + 1e-12)
         assert lo[0] == pytest.approx(hi[0])  # deterministic start
+
+    def test_uncertain_envelope_degenerate_horizon(self, bike_chain):
+        """Regression: ``t_eval[0] == t_eval[-1]`` used to crash inside
+        ``solve_ivp``; it must return the constant ``p0 . r`` envelope."""
+        reward = bike_chain.densities()[:, 0]
+        p0 = bike_chain.initial_distribution
+        times, lo, hi = uncertain_reward_envelope(
+            bike_chain, reward, [1.5, 1.5], resolution=3
+        )
+        expected = float(p0 @ reward)
+        np.testing.assert_allclose(lo, expected)
+        np.testing.assert_allclose(hi, expected)
+        assert times.shape == (2,)
+
+    def test_uncertain_envelope_descending_grid_rejected(self, bike_chain):
+        """Regression: a descending grid used to integrate the master
+        equation backward, silently exploding to astronomic values."""
+        reward = bike_chain.densities()[:, 0]
+        with pytest.raises(ValueError, match="non-decreasing"):
+            uncertain_reward_envelope(
+                bike_chain, reward, [2.0, 1.0, 0.0], resolution=3
+            )
+
+    def test_uncertain_envelope_reward_shape_validated(self, bike_chain):
+        with pytest.raises(ValueError):
+            uncertain_reward_envelope(bike_chain, np.ones(3),
+                                      np.linspace(0, 1, 3))

@@ -74,6 +74,35 @@ class TestRowOptimisation:
             two_state_dtmc().extreme_row(0, [1.0, 2.0, 3.0])
 
 
+class TestToleranceRenormalization:
+    """Rows admitted under the constructor's 1e-9 feasibility tolerance
+    must still come back stochastic (regression: negative slack was
+    silently kept, returning a super-stochastic row)."""
+
+    def test_super_stochastic_lower_sum_renormalized(self):
+        lower = np.array([[0.6, 0.4 + 5e-10], [0.3, 0.7]])
+        upper = np.array([[0.7, 0.5], [0.4, 0.8]])
+        dtmc = IntervalDTMC(lower, upper)
+        for maximize in (True, False):
+            p = dtmc.extreme_row(0, [1.0, 0.0], maximize=maximize)
+            assert p.sum() == pytest.approx(1.0, abs=1e-14)
+            batch = dtmc.extreme_rows_batch(np.array([1.0, 0.0]),
+                                            maximize=maximize)
+            np.testing.assert_array_equal(batch[0], p)
+
+    def test_sub_stochastic_upper_sum_renormalized(self):
+        lower = np.array([[0.2, 0.2], [0.3, 0.3]])
+        upper = np.array([[0.5, 0.5 - 5e-10], [0.6, 0.6]])
+        dtmc = IntervalDTMC(lower, upper)
+        p = dtmc.extreme_row(0, [1.0, 0.0])
+        assert p.sum() == pytest.approx(1.0, abs=1e-14)
+
+    def test_exactly_feasible_rows_untouched(self):
+        p = np.array([[0.5, 0.5], [0.2, 0.8]])
+        dtmc = IntervalDTMC(p, p)
+        np.testing.assert_array_equal(dtmc.extreme_row(0, [1.0, 0.0]), p[0])
+
+
 class TestExpectations:
     def test_zero_steps_identity(self):
         dtmc = two_state_dtmc()
@@ -119,6 +148,58 @@ class TestExpectations:
             two_state_dtmc().upper_expectation([1.0, 0.0], -1)
 
 
+class TestStationary:
+    def test_zero_max_iter_raises_value_error(self):
+        # Regression: used to die with UnboundLocalError on `spread`.
+        with pytest.raises(ValueError, match="max_iter"):
+            two_state_dtmc().stationary_expectation_bounds(
+                [1.0, 0.0], max_iter=0
+            )
+
+    def test_failure_message_reports_final_iterate(self):
+        # A deterministic 2-cycle never flattens; the error must report
+        # the final iterate's spread and step size, not a stale value.
+        p = np.array([[0.0, 1.0], [1.0, 0.0]])
+        dtmc = IntervalDTMC(p, p)
+        with pytest.raises(RuntimeError) as excinfo:
+            dtmc.stationary_expectation_bounds([1.0, 0.0], max_iter=5)
+        message = str(excinfo.value)
+        assert "did not flatten within 5 steps" in message
+        assert "final spread 1.00e+00" in message
+        assert "last step moved 1.00e+00" in message
+
+    def test_regular_chain_bounds_ordered(self):
+        dtmc = two_state_dtmc()
+        lo, hi = dtmc.stationary_expectation_bounds([1.0, 0.0])
+        assert lo <= hi
+        assert dtmc.stationary_expectation_bounds(
+            [1.0, 0.0], batch=False
+        ) == (lo, hi)
+
+
+class TestUniformizedBounds:
+    def test_zero_horizon_is_reward_range(self):
+        dtmc = two_state_dtmc()
+        reward = np.array([1.0, 0.0])
+        lo, hi = dtmc.uniformized_bounds(reward, 0.0, rate=10.0)
+        np.testing.assert_allclose(lo, reward, atol=1e-12)
+        np.testing.assert_allclose(hi, reward, atol=1e-12)
+
+    def test_bounds_ordered_and_within_reward_range(self):
+        dtmc = two_state_dtmc()
+        reward = np.array([1.0, -1.0])
+        lo, hi = dtmc.uniformized_bounds(reward, 2.0, rate=5.0)
+        assert np.all(lo <= hi + 1e-12)
+        assert np.all(hi <= 1.0 + 1e-9) and np.all(lo >= -1.0 - 1e-9)
+
+    def test_invalid_arguments_rejected(self):
+        dtmc = two_state_dtmc()
+        with pytest.raises(ValueError):
+            dtmc.uniformized_bounds([1.0, 0.0], -1.0, rate=5.0)
+        with pytest.raises(ValueError):
+            dtmc.uniformized_bounds([1.0, 0.0], 1.0, rate=0.0)
+
+
 class TestUniformization:
     @pytest.fixture(scope="class")
     def bike_chain(self):
@@ -155,3 +236,22 @@ class TestUniformization:
         with pytest.raises(ValueError):
             IntervalDTMC.from_imprecise_ctmc(bike_chain,
                                              uniformization_rate=-1.0)
+
+    def test_dense_generator_chain_accepted(self, bike_chain):
+        """Regression: duck-typed chains returning dense ndarrays used
+        to crash on the assumed ``.toarray()``."""
+
+        class DenseChain:
+            model = bike_chain.model
+            states = bike_chain.states
+            n_states = bike_chain.n_states
+
+            @staticmethod
+            def generator(theta):
+                return bike_chain.generator(theta).toarray()
+
+        dense_dtmc, dense_rate = IntervalDTMC.from_imprecise_ctmc(DenseChain())
+        sparse_dtmc, sparse_rate = IntervalDTMC.from_imprecise_ctmc(bike_chain)
+        assert dense_rate == sparse_rate
+        np.testing.assert_array_equal(dense_dtmc.lower, sparse_dtmc.lower)
+        np.testing.assert_array_equal(dense_dtmc.upper, sparse_dtmc.upper)

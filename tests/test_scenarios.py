@@ -272,6 +272,31 @@ class TestRunScenario:
         b = run_question(spec, question)
         assert a.findings == b.findings
 
+    def test_dtmc_reward_question_outcome(self):
+        """The interval-DTMC backend: bounds ordered, conservative
+        against the exact Kolmogorov bounds, series anchored at the
+        reward's start-state value."""
+        spec = get_scenario("bike-dtmc-reward")
+        question = spec.questions[0]
+        out = run_question(spec, question)
+        f = out.findings
+        assert f["dtmc_states"] == 9.0  # N = 8 racks -> 9 occupancies
+        assert f["dtmc_occupied_lower_final"] <= f["dtmc_occupied_upper_final"]
+        assert f["dtmc_occupied_conservative"] == 1.0
+        assert f["dtmc_occupied_time_lower"] <= f["dtmc_occupied_exact_lower"] + 1e-9
+        assert f["dtmc_occupied_time_upper"] >= f["dtmc_occupied_exact_upper"] - 1e-9
+        assert (f["dtmc_occupied_stationary_lower"]
+                <= f["dtmc_occupied_stationary_upper"])
+        times, lower = out.series["dtmc_occupied_lower"]
+        assert times[0] == 0.0
+        assert lower[0] == pytest.approx(0.5)  # reward at the start state
+        assert len(times) == int(f["dtmc_steps"]) + 1
+
+    def test_dtmc_reward_catalog_scenarios_registered(self):
+        names = {spec.name for spec in list_scenarios(tag="dtmc")}
+        assert {"sir-dtmc-reward", "load-balancing-dtmc",
+                "bike-dtmc-reward"} <= names
+
     def test_cache_entry_from_other_library_version_is_stale(
             self, tmp_path, monkeypatch):
         """An upgrade must not keep serving numbers computed by old

@@ -94,3 +94,48 @@ class TestUncertainEnvelope:
         )
         # grid 4x4 + 4 corners (deduplicated to 16).
         assert env.thetas.shape == (16, 2)
+
+
+class TestRk4Batching:
+    def test_batch_matches_scalar_bitwise(self, sir_model):
+        t = np.linspace(0, 2, 9)
+        kwargs = dict(resolution=5, integrator="rk4", rk4_steps=80)
+        batched = uncertain_envelope(sir_model, [0.7, 0.3], t, **kwargs)
+        scalar = uncertain_envelope(sir_model, [0.7, 0.3], t, batch=False,
+                                    **kwargs)
+        for name in batched.observable_names:
+            np.testing.assert_array_equal(batched.lower[name],
+                                          scalar.lower[name])
+            np.testing.assert_array_equal(batched.upper[name],
+                                          scalar.upper[name])
+
+    def test_descending_grid_starts_from_x0(self, sir_model):
+        """Regression: ``np.union1d`` re-sorted the RK4 grid ascending,
+        so a descending ``t_eval`` integrated from the wrong end; the
+        envelope must collapse to x0 at ``t_eval[0]``, exactly like the
+        adaptive integrator's backward solve."""
+        t = np.array([2.0, 1.0, 0.0])
+        env = uncertain_envelope(sir_model, [0.7, 0.3], t, resolution=3,
+                                 integrator="rk4", rk4_steps=300)
+        assert env.lower["I"][0] == pytest.approx(0.3)
+        assert env.upper["I"][0] == pytest.approx(0.3)
+        adaptive = uncertain_envelope(sir_model, [0.7, 0.3], t, resolution=3)
+        np.testing.assert_allclose(env.lower["I"], adaptive.lower["I"],
+                                   atol=1e-6)
+        np.testing.assert_allclose(env.upper["I"], adaptive.upper["I"],
+                                   atol=1e-6)
+
+    def test_descending_batch_matches_scalar(self, sir_model):
+        t = np.array([1.5, 0.75, 0.0])
+        kwargs = dict(resolution=3, integrator="rk4", rk4_steps=60)
+        batched = uncertain_envelope(sir_model, [0.7, 0.3], t, **kwargs)
+        scalar = uncertain_envelope(sir_model, [0.7, 0.3], t, batch=False,
+                                    **kwargs)
+        np.testing.assert_array_equal(batched.lower["I"], scalar.lower["I"])
+        np.testing.assert_array_equal(batched.upper["I"], scalar.upper["I"])
+
+    def test_degenerate_horizon_still_collapses(self, sir_model):
+        env = uncertain_envelope(sir_model, [0.7, 0.3], np.array([1.0, 1.0]),
+                                 resolution=3, integrator="rk4")
+        np.testing.assert_allclose(env.lower["I"], 0.3)
+        np.testing.assert_allclose(env.upper["I"], 0.3)
