@@ -74,9 +74,13 @@ def bench_fig1_pontryagin(smoke: bool) -> dict:
     repeats = 1 if smoke else 2
 
     def run(batch):
+        # lanes=False pins both modes to the sequential warm-started
+        # sweep so the comparison isolates *extremizer* batching; the
+        # lane-parallel integrator rewrite is benched end-to-end in
+        # bench_ode_core.py.
         return pontryagin_transient_bounds(
             model, X0, horizons, observables=["I"],
-            steps_per_unit=steps_per_unit, batch=batch,
+            steps_per_unit=steps_per_unit, batch=batch, lanes=False,
         )
 
     batched_s, batched = best_of(lambda: run(True), repeats)
@@ -89,7 +93,8 @@ def bench_fig1_pontryagin(smoke: bool) -> dict:
         "speedup": round(scalar_s / batched_s, 3),
         "identical_bounds": True,
         "note": "end-to-end; the shared RK4 state/costate sweeps dominate "
-                "— see fig1_hamiltonian_remax for the extremization phase",
+                "— see fig1_hamiltonian_remax for the extremization phase "
+                "and bench_ode_core.py for the lane-parallel sweep",
     }
 
 

@@ -1,0 +1,185 @@
+"""ODE-core hot path — scalar integrator loops vs the batched kernels.
+
+PR 3 made the bounds layer extremization-batched; the remaining scalar
+chokepoint was the integrators themselves: one Python RK4 loop per
+Pontryagin sweep lane and one scipy ``solve_ivp`` dispatch per constant
+``theta``.  This bench measures what the ``repro.ode.batch`` kernels buy
+on the paper workloads that stress them hardest:
+
+- **fig2 pontryagin**: the Figure-2 bang-bang problem widened to its
+  transient ladder — both observables, both sides, eight horizons up to
+  ``T = 3`` at 200 steps/unit (32 sweep lanes).  The lane-parallel path
+  advances every sweep through one batched forward call, one batched
+  costate call (precomputed analytic Jacobian stacks) and one
+  Hamiltonian re-maximisation per iteration; the scalar path runs the
+  legacy warm-started per-lane loop.
+- **fig1 adaptive sweep**: the Figure-1 uncertain envelope over the
+  41-point theta grid, adaptive integrator.  The batched path pushes the
+  whole grid through ``dopri_batch`` (per-lane error control, lane
+  retirement); the scalar path dispatches one scipy ``solve_ivp`` per
+  theta.
+- **fixed-point scan**: the Figure-3 steady-state curve (41 equilibria);
+  ``find_fixed_point_batch`` settles the whole stack in one vectorized
+  solver loop.
+
+Both modes must agree (asserted: bounds to sweep tolerance, envelopes to
+integration tolerance, fixed points to Newton tolerance).  Full runs
+enforce the roadmap speedup floors (>= 4x fig2, >= 3x fig1) and archive
+into ``benchmarks/results/BENCH_ode.json``.
+
+Run directly (``--smoke`` for the CI-sized variant)::
+
+    PYTHONPATH=src python benchmarks/bench_ode_core.py [--smoke]
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from _common import RESULTS_DIR, best_of
+from repro.bounds import pontryagin_transient_bounds, uncertain_envelope
+from repro.models import make_sir_model
+from repro.steadystate import uncertain_fixed_points
+
+BENCH_PATH = RESULTS_DIR / "BENCH_ode.json"
+
+X0 = (0.7, 0.3)
+
+#: Figure-2 problem horizon (the bang-bang extremals at T = 3).
+FIG2_HORIZON = 3.0
+
+#: Figure-1 envelope settings (the 41-point theta grid of the curves).
+FIG1_T_EVAL = np.linspace(0.0, 4.0, 17)
+FIG1_RESOLUTION = 41
+
+
+def bench_fig2_pontryagin(smoke: bool) -> dict:
+    """Lane-parallel vs sequential Pontryagin on the fig2 ladder."""
+    n_horizons = 3 if smoke else 8
+    steps_per_unit = 60.0 if smoke else 200.0
+    observables = ["I"] if smoke else ["S", "I"]
+    horizons = np.linspace(FIG2_HORIZON / n_horizons, FIG2_HORIZON,
+                           n_horizons)
+
+    def run(lanes):
+        model = make_sir_model()  # fresh caches: no cross-mode warm state
+        return pontryagin_transient_bounds(
+            model, X0, horizons, observables=observables,
+            steps_per_unit=steps_per_unit, lanes=lanes,
+        )
+
+    lane_s, lane_bounds = best_of(lambda: run(True), 1)
+    scalar_s, scalar_bounds = best_of(lambda: run(False), 1)
+    # rtol 1e-3: cold-started lanes and warm-started scalar sweeps stop
+    # at slightly different depths of the same bang-bang optimum (the
+    # lane value is occasionally the *better* one).
+    for name in observables:
+        np.testing.assert_allclose(lane_bounds.lower[name],
+                                   scalar_bounds.lower[name],
+                                   rtol=1e-3, atol=1e-8)
+        np.testing.assert_allclose(lane_bounds.upper[name],
+                                   scalar_bounds.upper[name],
+                                   rtol=1e-3, atol=1e-8)
+    return {
+        "n_lanes": int(len(observables) * 2 * n_horizons),
+        "steps_per_unit": steps_per_unit,
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(lane_s, 6),
+        "speedup": round(scalar_s / lane_s, 3),
+        "bounds_match": True,
+    }
+
+
+def bench_fig1_adaptive_sweep(smoke: bool) -> dict:
+    """``dopri_batch`` vs per-theta scipy on the fig1 envelope grid."""
+    resolution = 9 if smoke else FIG1_RESOLUTION
+    t_eval = FIG1_T_EVAL[:9] if smoke else FIG1_T_EVAL
+    model = make_sir_model()
+    repeats = 1 if smoke else 3
+
+    def run(batch):
+        return uncertain_envelope(model, X0, t_eval, resolution=resolution,
+                                  batch=batch)
+
+    run(True)  # warm the lazy drift-batch validation
+    batched_s, batched = best_of(lambda: run(True), repeats)
+    scalar_s, scalar = best_of(lambda: run(False), repeats)
+    for name in batched.observable_names:
+        np.testing.assert_allclose(batched.lower[name], scalar.lower[name],
+                                   rtol=1e-6, atol=1e-6)
+        np.testing.assert_allclose(batched.upper[name], scalar.upper[name],
+                                   rtol=1e-6, atol=1e-6)
+    return {
+        "n_thetas": int(resolution),
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+        "envelopes_match": True,
+    }
+
+
+def bench_fig3_fixed_point_scan(smoke: bool) -> dict:
+    """Batched vs warm-started scalar settling of the steady-state curve."""
+    resolution = 9 if smoke else 41
+
+    def run(batch):
+        model = make_sir_model()
+        return uncertain_fixed_points(model, resolution=resolution,
+                                      batch=batch)
+
+    batched_s, batched = best_of(lambda: run(True), 1)
+    scalar_s, scalar = best_of(lambda: run(False), 1)
+    np.testing.assert_allclose(batched, scalar, atol=1e-8)
+    return {
+        "n_thetas": int(resolution),
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+        "fixed_points_match": True,
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller ladders, weaker speedup "
+                             "floors); timings are not archived")
+    args = parser.parse_args(argv)
+
+    summary = {
+        "fig2_pontryagin": bench_fig2_pontryagin(args.smoke),
+        "fig1_adaptive_sweep": bench_fig1_adaptive_sweep(args.smoke),
+        "fig3_fixed_point_scan": bench_fig3_fixed_point_scan(args.smoke),
+        "smoke": bool(args.smoke),
+        "recorded_unix": int(time.time()),
+    }
+    for name in ("fig2_pontryagin", "fig1_adaptive_sweep",
+                 "fig3_fixed_point_scan"):
+        entry = summary[name]
+        print(f"{name}: scalar {entry['scalar_seconds']:.3f}s  "
+              f"batched {entry['batched_seconds']:.3f}s  "
+              f"speedup {entry['speedup']:.2f}x")
+
+    fig2_floor, fig1_floor = (1.2, 1.2) if args.smoke else (4.0, 3.0)
+    fig2 = summary["fig2_pontryagin"]["speedup"]
+    fig1 = summary["fig1_adaptive_sweep"]["speedup"]
+    assert fig2 >= fig2_floor, (
+        f"fig2 Pontryagin speedup {fig2:.2f}x below the {fig2_floor:.1f}x floor"
+    )
+    assert fig1 >= fig1_floor, (
+        f"fig1 adaptive-sweep speedup {fig1:.2f}x below the "
+        f"{fig1_floor:.1f}x floor"
+    )
+
+    if not args.smoke:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BENCH_PATH.write_text(json.dumps(summary, indent=1, sort_keys=True)
+                              + "\n")
+        print(f"wrote {BENCH_PATH}")
+    return summary
+
+
+if __name__ == "__main__":
+    main()

@@ -116,7 +116,7 @@ from repro.steadystate import (
 #: Bump on releases that change any computation backend: the scenario
 #: disk cache stamps entries with this version and treats entries from
 #: other versions as stale (repro.scenarios.cache).
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -17,9 +17,14 @@ Three bound computations, in increasing tightness-per-cost order:
   (Figures 1–2, 7).
 """
 
-from repro.bounds.hull import HullBounds, differential_hull_bounds
+from repro.bounds.hull import (
+    HullBounds,
+    differential_hull_bounds,
+    hull_vector_field,
+)
 from repro.bounds.pontryagin import (
     PontryaginResult,
+    extremal_trajectories_batch,
     extremal_trajectory,
     pontryagin_transient_bounds,
     reachable_polytope_2d,
@@ -39,8 +44,10 @@ __all__ = [
     "uncertain_envelope",
     "UncertainEnvelope",
     "differential_hull_bounds",
+    "hull_vector_field",
     "HullBounds",
     "extremal_trajectory",
+    "extremal_trajectories_batch",
     "pontryagin_transient_bounds",
     "reachable_polytope_2d",
     "switching_times",

@@ -41,7 +41,7 @@ from scipy.optimize import minimize
 
 from repro.inclusion import DriftExtremizer
 
-__all__ = ["HullBounds", "differential_hull_bounds"]
+__all__ = ["HullBounds", "differential_hull_bounds", "hull_vector_field"]
 
 
 @dataclass
@@ -155,58 +155,21 @@ def _corner_masks(d: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     return masks, lo_sel, hi_sel
 
 
-def differential_hull_bounds(
+def hull_vector_field(
     model,
-    x0,
-    t_eval,
     x_samples_per_axis: int = 2,
     refine: bool = False,
     theta_method: str = "auto",
-    rtol: float = 1e-7,
-    atol: float = 1e-9,
-    blowup_threshold: float = 100.0,
     batch: bool = True,
-) -> HullBounds:
-    """Integrate the differential hull of the model's mean-field inclusion.
+):
+    """The autonomous hull pair field ``(t, z) -> dz`` on ``z = (xlo, xhi)``.
 
-    Parameters
-    ----------
-    model:
-        Population model; its declared ``state_bounds`` are *not* used to
-        clip (the raw hull may leave them, faithfully to the paper).
-    x0:
-        Initial state; the hull starts from the degenerate rectangle
-        ``[x0, x0]``.
-    t_eval:
-        Output time grid.
-    x_samples_per_axis:
-        Sampling of each free coordinate of the box slice during the
-        inner extremisation (2 = corners only, exact for monotone rates).
-    refine:
-        Polish each slice extremum with a bounded L-BFGS-B run; only
-        useful for rates that are non-monotone in the state.
-    theta_method:
-        Extremiser strategy over ``Theta`` (see
-        :class:`~repro.inclusion.DriftExtremizer`).
-    blowup_threshold:
-        The hull ODEs can diverge exponentially once the rectangle grows
-        past the basin where the bounding fields are contracting (the
-        "trivial" regime of Figure 4c).  Integration stops when any bound
-        exceeds this magnitude and the remaining samples are filled with
-        ``-inf`` / ``+inf``, which is the honest reading of a diverged
-        hull.
-    batch:
-        Evaluate the RHS through the batched extremiser: the slice-corner
-        masks are precomputed once and every evaluation issues a *single*
-        :meth:`~repro.inclusion.DriftExtremizer.velocity_envelope_batch`
-        call over the ``2^d`` rectangle corners, instead of
-        ``O(d 2^(d-1))`` Python-level extremisations.  The candidate set
-        and per-corner optima are identical, so the field — and hence
-        the hull — matches the ``batch=False`` legacy loop (kept for
-        differential testing) to integrator round-off.
+    This is the right-hand side :func:`differential_hull_bounds`
+    integrates; it is exposed so steady-state analyses can treat the
+    hull pair as a fixed-point problem (the stationary rectangle is a
+    zero of this field).  See :func:`differential_hull_bounds` for the
+    parameter semantics.
     """
-    t_eval = np.asarray(t_eval, dtype=float)
-    x0 = np.asarray(x0, dtype=float)
     d = model.dim
     extremizer = DriftExtremizer(model, method=theta_method, batch=batch)
 
@@ -287,7 +250,69 @@ def differential_hull_bounds(
             dhi[i] = hi_best
         return np.concatenate([dlo, dhi])
 
-    hull_field = hull_field_batched if batch else hull_field_scalar
+    return hull_field_batched if batch else hull_field_scalar
+
+
+def differential_hull_bounds(
+    model,
+    x0,
+    t_eval,
+    x_samples_per_axis: int = 2,
+    refine: bool = False,
+    theta_method: str = "auto",
+    rtol: float = 1e-7,
+    atol: float = 1e-9,
+    blowup_threshold: float = 100.0,
+    batch: bool = True,
+) -> HullBounds:
+    """Integrate the differential hull of the model's mean-field inclusion.
+
+    Parameters
+    ----------
+    model:
+        Population model; its declared ``state_bounds`` are *not* used to
+        clip (the raw hull may leave them, faithfully to the paper).
+    x0:
+        Initial state; the hull starts from the degenerate rectangle
+        ``[x0, x0]``.
+    t_eval:
+        Output time grid.
+    x_samples_per_axis:
+        Sampling of each free coordinate of the box slice during the
+        inner extremisation (2 = corners only, exact for monotone rates).
+    refine:
+        Polish each slice extremum with a bounded L-BFGS-B run; only
+        useful for rates that are non-monotone in the state.
+    theta_method:
+        Extremiser strategy over ``Theta`` (see
+        :class:`~repro.inclusion.DriftExtremizer`).
+    blowup_threshold:
+        The hull ODEs can diverge exponentially once the rectangle grows
+        past the basin where the bounding fields are contracting (the
+        "trivial" regime of Figure 4c).  Integration stops when any bound
+        exceeds this magnitude and the remaining samples are filled with
+        ``-inf`` / ``+inf``, which is the honest reading of a diverged
+        hull.
+    batch:
+        Evaluate the RHS through the batched extremiser: the slice-corner
+        masks are precomputed once and every evaluation issues a *single*
+        :meth:`~repro.inclusion.DriftExtremizer.velocity_envelope_batch`
+        call over the ``2^d`` rectangle corners, instead of
+        ``O(d 2^(d-1))`` Python-level extremisations.  The candidate set
+        and per-corner optima are identical, so the field — and hence
+        the hull — matches the ``batch=False`` legacy loop (kept for
+        differential testing) to integrator round-off.
+    """
+    t_eval = np.asarray(t_eval, dtype=float)
+    x0 = np.asarray(x0, dtype=float)
+    d = model.dim
+    hull_field = hull_vector_field(
+        model,
+        x_samples_per_axis=x_samples_per_axis,
+        refine=refine,
+        theta_method=theta_method,
+        batch=batch,
+    )
 
     z0 = np.concatenate([x0, x0])
 

@@ -41,12 +41,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.inclusion import DriftExtremizer
-from repro.ode import Trajectory, rk4_integrate, rk4_integrate_controlled
+from repro.ode import (
+    Trajectory,
+    pad_grids,
+    rk4_integrate,
+    rk4_integrate_controlled,
+    rk4_integrate_controlled_batch,
+)
 
 __all__ = [
     "PontryaginResult",
     "TransientBounds",
     "extremal_trajectory",
+    "extremal_trajectories_batch",
     "pontryagin_transient_bounds",
     "switching_times",
     "reachable_polytope_2d",
@@ -285,6 +292,270 @@ def extremal_trajectory(
     )
 
 
+def _costate_sweep_batch(model, T, steps, states, controls, C, w_mid,
+                         idx_right):
+    """Backward costate integration for a whole lane set at once.
+
+    During one backward sweep the state trajectory and control signal
+    are *frozen*, so every Jacobian the RK4 stages will request is known
+    in advance: per interval ``j`` the stages evaluate
+    ``J(x(T[j+1]), u)`` (the node entered backward), ``J(x_mid, u_j)``
+    (the half step, twice) and ``J(x(T[j]), u_j)``.  All three stacks
+    are produced by a single batched
+    :meth:`~repro.population.PopulationModel.jacobian_x_batch` call
+    over every lane and interval; the recursion itself is then pure
+    matrix–vector arithmetic per lockstep step, mirroring the scalar
+    RK4 stage expressions (lanes whose grid is exhausted freeze).
+    Returns the costate stack in forward orientation, ``(L, n+1, d)``.
+    """
+    L, n_plus_1, d = states.shape
+    n_max = n_plus_1 - 1
+    lanes = np.arange(L)
+    x_left = states[:, :-1]
+    x_right = states[:, 1:]
+    x_mid = x_left + w_mid[:, :, None] * (x_right - x_left)
+    u_right = controls[lanes[:, None], idx_right]
+    flat = lambda arr: arr.reshape(L * n_max, -1)  # noqa: E731
+    jacs = model.jacobian_x_batch(
+        np.concatenate([flat(x_right), flat(x_mid), flat(x_left)]),
+        np.concatenate([flat(u_right), flat(controls), flat(controls)]),
+    ).reshape(3, L, n_max, d, d)
+    j_right, j_mid, j_left = jacs[0], jacs[1], jacs[2]
+
+    p = C.copy()
+    costates = np.tile(C[:, None, :], (1, n_plus_1, 1))
+    for i in range(int(steps.max())):
+        j = steps - 1 - i
+        live = j >= 0
+        jc = np.where(live, j, 0)
+        dt = T[lanes, jc] - T[lanes, jc + 1]  # negative: backward in time
+        dtc = dt[:, None]
+        jr = j_right[lanes, jc]
+        jm = j_mid[lanes, jc]
+        jl = j_left[lanes, jc]
+        k1 = -np.einsum("lkj,lk->lj", jr, p)
+        k2 = -np.einsum("lkj,lk->lj", jm, p + 0.5 * dtc * k1)
+        k3 = -np.einsum("lkj,lk->lj", jm, p + 0.5 * dtc * k2)
+        k4 = -np.einsum("lkj,lk->lj", jl, p + dtc * k3)
+        p_new = p + (dtc / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        p = np.where(live[:, None], p_new, p)
+        costates[lanes[live], j[live]] = p[live]
+    return costates
+
+
+def extremal_trajectories_batch(
+    model,
+    x0,
+    specs: Sequence,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+    value_tol: float = 1e-6,
+    value_patience: int = 3,
+    chatter_intervals: int = 2,
+    extremizer: Optional[DriftExtremizer] = None,
+) -> List[PontryaginResult]:
+    """Run many forward–backward sweeps as one lane-parallel batch.
+
+    Each spec is a ``(direction, maximize, horizon, n_steps)`` tuple
+    describing one extremal-trajectory problem; all of them advance in
+    lockstep through the batched RK4 kernels: per iteration the forward
+    state sweep is *one* :func:`~repro.ode.rk4_integrate_controlled_batch`
+    call, the backward costate sweep one :func:`~repro.ode.rk4_integrate_batch`
+    call (batched analytic Jacobians through
+    :meth:`~repro.population.PopulationModel.jacobian_x_batch`), and the
+    Hamiltonian re-maximisation one extremiser call over every lane's
+    every grid interval.  Per-lane convergence masks let converged lanes
+    retire — they stop consuming forward/backward work — while the rest
+    keep sweeping.
+
+    Lane iteration logic (relaxation schedule, best-iterate tracking,
+    chatter-tolerant convergence, bang-bang projection) mirrors
+    :func:`extremal_trajectory` lane by lane from a cold start, so each
+    returned :class:`PontryaginResult` matches the scalar sweep of the
+    same problem to integrator round-off.
+    """
+    if not specs:
+        return []
+    x0 = np.asarray(x0, dtype=float)
+    extremizer = extremizer or DriftExtremizer(model)
+    L = len(specs)
+    d, p = model.dim, model.theta_dim
+
+    directions = np.empty((L, d))
+    maximize = np.empty(L, dtype=bool)
+    grids = []
+    for l, (direction, is_max, horizon, n_steps) in enumerate(specs):
+        direction = np.asarray(direction, dtype=float)
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if n_steps < 2:
+            raise ValueError("n_steps must be >= 2")
+        if direction.shape != (d,):
+            raise ValueError(
+                f"direction has shape {direction.shape}, expected ({d},)"
+            )
+        if not np.any(direction != 0.0):
+            raise ValueError("direction must be non-zero")
+        directions[l] = direction
+        maximize[l] = bool(is_max)
+        grids.append(np.linspace(0.0, float(horizon), int(n_steps) + 1))
+    # Internally every lane maximises c . x(T).
+    C = np.where(maximize[:, None], directions, -directions)
+    T, steps = pad_grids(grids)
+    n_max = T.shape[1] - 1
+    lanes_all = np.arange(L)
+    interval_live = np.arange(n_max)[None, :] < steps[:, None]
+    # Stage geometry of the backward sweeps (fixed across iterations):
+    # the mid-stage interpolation weight per interval, and the control
+    # interval the node-entry stage reads (the piecewise-constant lookup
+    # clips at the terminal interval, exactly as the scalar sweep does).
+    span = T[:, 1:] - T[:, :-1]
+    t_mid = T[:, 1:] + 0.5 * (T[:, :-1] - T[:, 1:])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        w_mid = np.where(span != 0.0, (t_mid - T[:, :-1]) / span, 0.5)
+    idx_right = np.minimum(np.arange(1, n_max + 1)[None, :],
+                           (steps - 1)[:, None])
+
+    controls = np.tile(model.theta_set.center(), (L, n_max, 1))
+    x0_stack = np.broadcast_to(x0, (L, d)).copy()
+
+    def dynamics(t, X, U):
+        return model.drift_batch(X, U)
+
+    # Per-lane sweep state (mirrors the scalar loop variable for variable).
+    best_value = np.full(L, -np.inf)
+    best_states = np.zeros((L, n_max + 1, d))
+    best_costates = np.tile(C[:, None, :], (1, n_max + 1, 1))
+    best_controls = controls.copy()
+    value_prev = np.zeros(L)
+    has_prev = np.zeros(L, dtype=bool)
+    stable = np.zeros(L, dtype=int)
+    relaxation = np.ones(L)
+    converged = np.zeros(L, dtype=bool)
+    iterations = np.zeros(L, dtype=int)
+    costates = np.tile(C[:, None, :], (1, n_max + 1, 1))
+
+    active = lanes_all.copy()
+    for it in range(1, max_iter + 1):
+        if active.size == 0:
+            break
+        iterations[active] = it
+        a = active
+        # (7) forward state sweep under the current controls.
+        fwd = rk4_integrate_controlled_batch(
+            dynamics, x0_stack[a], T[a], controls[a], lane_steps=steps[a]
+        )
+        finals = fwd.final_states
+        value = np.einsum("ld,ld->l", C[a], finals)
+        improved = value > best_value[a]
+        upd = a[improved]
+        best_value[upd] = value[improved]
+        best_states[upd] = fwd.states[improved]
+        best_costates[upd] = costates[upd]
+        best_controls[upd] = controls[upd]
+
+        # (9) backward costate sweep along the stored states.
+        costates_a = _costate_sweep_batch(
+            model, T[a], steps[a], fwd.states, controls[a], C[a],
+            w_mid[a], idx_right[a],
+        )
+        costates[a] = costates_a
+
+        # (8) pointwise Hamiltonian maximisation, all lanes and intervals
+        # in one batched call.
+        thetas_flat, _ = extremizer.maximize_direction_batch(
+            fwd.states[:, :-1].reshape(-1, d),
+            costates_a[:, :-1].reshape(-1, d),
+        )
+        target = thetas_flat.reshape(a.size, n_max, p)
+
+        changed = (
+            np.any(np.abs(target - controls[a]) > tol, axis=2)
+            & interval_live[a]
+        )
+        n_changed = np.count_nonzero(changed, axis=1)
+        fixed_point = n_changed <= chatter_intervals
+
+        if np.any(fixed_point):
+            # One final forward pass under the fixed-point controls.
+            fin = a[fixed_point]
+            controls[fin] = target[fixed_point]
+            final_fwd = rk4_integrate_controlled_batch(
+                dynamics, x0_stack[fin], T[fin], controls[fin],
+                lane_steps=steps[fin],
+            )
+            fin_value = np.einsum("ld,ld->l", C[fin], final_fwd.final_states)
+            better = fin_value >= best_value[fin]
+            upd = fin[better]
+            best_value[upd] = fin_value[better]
+            best_states[upd] = final_fwd.states[better]
+            best_costates[upd] = costates[upd]
+            best_controls[upd] = controls[upd]
+            converged[fin] = True
+
+        cont = ~fixed_point
+        if np.any(cont):
+            ac = a[cont]
+            v = value[cont]
+            regressed = has_prev[ac] & (v < value_prev[ac] - value_tol)
+            relaxation[ac[regressed]] = np.maximum(
+                0.5 * relaxation[ac[regressed]], 0.05
+            )
+            settled = has_prev[ac] & (
+                np.abs(v - value_prev[ac])
+                <= value_tol * np.maximum(1.0, np.abs(v))
+            )
+            stable[ac[settled]] += 1
+            stable[ac[~settled]] = 0
+            patience_hit = stable[ac] >= value_patience
+            converged[ac[patience_hit]] = True
+            value_prev[ac] = v
+            has_prev[ac] = True
+            step_lanes = ~patience_hit
+            upd = ac[step_lanes]
+            controls[upd] = controls[upd] + relaxation[upd][:, None, None] * (
+                target[cont][step_lanes] - controls[upd]
+            )
+            active = upd
+        else:
+            active = a[~fixed_point]
+
+    # Projection back to the pointwise Hamiltonian maximiser — one remax
+    # plus one forward pass for every lane at once.
+    values = best_value.copy()
+    thetas_flat, _ = extremizer.maximize_direction_batch(
+        best_states[:, :-1].reshape(-1, d),
+        best_costates[:, :-1].reshape(-1, d),
+    )
+    projected = thetas_flat.reshape(L, n_max, p)
+    proj_fwd = rk4_integrate_controlled_batch(
+        dynamics, x0_stack, T, projected, lane_steps=steps
+    )
+    proj_value = np.einsum("ld,ld->l", C, proj_fwd.final_states)
+    keep = proj_value >= values - value_tol * np.maximum(1.0, np.abs(values))
+    final_states = np.where(keep[:, None, None], proj_fwd.states, best_states)
+    final_controls = np.where(keep[:, None, None], projected, best_controls)
+    values = np.where(keep, np.maximum(values, proj_value), values)
+
+    results = []
+    for l in range(L):
+        stop = int(steps[l]) + 1
+        results.append(
+            PontryaginResult(
+                times=T[l, :stop].copy(),
+                states=final_states[l, :stop].copy(),
+                costates=best_costates[l, :stop].copy(),
+                controls=final_controls[l, : stop - 1].copy(),
+                direction=directions[l].copy(),
+                maximize=bool(maximize[l]),
+                value=float(values[l] if maximize[l] else -values[l]),
+                converged=bool(converged[l]),
+                iterations=int(iterations[l]),
+            )
+        )
+    return results
+
+
 @dataclass
 class TransientBounds:
     """Min/max of observables at a grid of horizons (Figures 1 and 7).
@@ -356,18 +627,30 @@ def pontryagin_transient_bounds(
     keep_results: bool = False,
     sides: Sequence[str] = ("lower", "upper"),
     batch: bool = True,
+    lanes: Optional[bool] = None,
 ) -> TransientBounds:
     """Exact imprecise-model bounds at each horizon, per observable.
 
-    One Pontryagin sweep per (horizon, observable, side), warm-started
-    from the previous horizon's optimal control.  This regenerates the
-    ``x^{imprecise}`` curves of Figure 1 and the queue-length curves of
-    Figure 7.
+    One Pontryagin sweep per (horizon, observable, side).  This
+    regenerates the ``x^{imprecise}`` curves of Figure 1 and the
+    queue-length curves of Figure 7.
 
     ``sides`` selects which bounds to compute (``"lower"``, ``"upper"``
     or both); robust-design loops that only consume the worst case pass
     ``sides=("upper",)`` and halve the cost.  Unselected sides are left
     as NaN in the result.
+
+    With ``lanes`` enabled (the default, following ``batch``) *all*
+    (observable, side, horizon) sweeps advance simultaneously through
+    :func:`extremal_trajectories_batch`: each iteration issues one
+    batched forward RK4 call, one batched costate call and one
+    Hamiltonian re-maximisation for the whole lane set, and converged
+    lanes retire early.  Every lane cold-starts from the centre of
+    ``Theta``.  The scalar path (``lanes=False``) runs the legacy
+    sequential loop, warm-starting each horizon from the previous
+    horizon's optimal control; both converge to the same bang-bang
+    optima (the warm start saves sweeps, not accuracy) and are pinned
+    against each other in the differential suite.
     """
     horizons = np.asarray(horizons, dtype=float)
     if np.any(horizons <= 0):
@@ -380,6 +663,8 @@ def pontryagin_transient_bounds(
             f"sides must be a non-empty subset of ('lower', 'upper'); "
             f"got {tuple(sides)}"
         )
+    if lanes is None:
+        lanes = batch
     directions = _resolve_directions(model, observables)
     extremizer = extremizer or DriftExtremizer(model, batch=batch)
     bounds = TransientBounds(horizons=horizons.copy())
@@ -387,16 +672,44 @@ def pontryagin_transient_bounds(
         is_max for is_max in (False, True)
         if ("upper" if is_max else "lower") in sides
     )
+    step_counts = [
+        max(min_steps, int(np.ceil(horizon * steps_per_unit)))
+        for horizon in horizons
+    ]
+    if keep_results:
+        for name in directions:
+            bounds.lower_results[name] = []
+            bounds.upper_results[name] = []
+
+    if lanes:
+        specs = []
+        keys = []
+        for name, c in directions.items():
+            bounds.lower[name] = np.full(horizons.shape[0], np.nan)
+            bounds.upper[name] = np.full(horizons.shape[0], np.nan)
+            for is_max in requested:
+                for k, horizon in enumerate(horizons):
+                    specs.append((c, is_max, float(horizon), step_counts[k]))
+                    keys.append((name, is_max, k))
+        results = extremal_trajectories_batch(
+            model, x0, specs,
+            max_iter=max_iter, tol=tol, extremizer=extremizer,
+        )
+        for (name, is_max, k), result in zip(keys, results):
+            target = bounds.upper if is_max else bounds.lower
+            target[name][k] = result.value
+            if keep_results:
+                store = bounds.upper_results if is_max else bounds.lower_results
+                store[name].append(result)
+        return bounds
+
     for name, c in directions.items():
         bounds.lower[name] = np.full(horizons.shape[0], np.nan)
         bounds.upper[name] = np.full(horizons.shape[0], np.nan)
-        if keep_results:
-            bounds.lower_results[name] = []
-            bounds.upper_results[name] = []
         for is_max in requested:
             warm: Optional[Tuple[np.ndarray, np.ndarray]] = None
             for k, horizon in enumerate(horizons):
-                n_steps = max(min_steps, int(np.ceil(horizon * steps_per_unit)))
+                n_steps = step_counts[k]
                 initial = None
                 if warm is not None:
                     old_grid, old_controls = warm

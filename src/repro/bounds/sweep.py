@@ -22,7 +22,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.ode import rk4_integrate, rk4_step, solve_ode
+from repro.ode import dopri_batch, rk4_integrate, rk4_step, solve_ode
 
 __all__ = ["UncertainEnvelope", "uncertain_envelope"]
 
@@ -157,12 +157,16 @@ def uncertain_envelope(
         crosses the discontinuity with bounded chatter instead, exactly
         as the Pontryagin forward sweeps do.
     batch:
-        With the ``rk4`` integrator, advance all thetas simultaneously —
-        one :meth:`drift_batch` call per RK4 stage instead of one Python
-        callback per theta per stage.  Bit-identical to the scalar loop
-        (kept behind ``batch=False`` for differential testing); the
-        adaptive integrator ignores the flag, as its per-theta step-size
-        control cannot be shared across lanes.
+        Advance all thetas simultaneously.  With the ``rk4`` integrator
+        this is one :meth:`drift_batch` call per RK4 stage instead of
+        one Python callback per theta per stage — bit-identical to the
+        scalar loop (kept behind ``batch=False`` for differential
+        testing).  With the ``adaptive`` integrator the whole theta grid
+        goes through :func:`~repro.ode.dopri_batch`: every lane keeps
+        its *own* adaptive step size and error control inside one
+        vectorized solver loop, eliminating the per-theta scipy
+        ``solve_ivp`` dispatch; lanes match the scalar scipy path to
+        integration tolerance (same Dormand–Prince 5(4) pair).
     """
     t_eval = np.asarray(t_eval, dtype=float)
     if t_eval.ndim != 1 or t_eval.shape[0] < 1:
@@ -201,6 +205,18 @@ def uncertain_envelope(
         states_stack = _rk4_sweep_batch(model, x0, rk4_grid, thetas)[:, pick, :]
         for name, w in weights.items():
             values[name] = states_stack @ w
+    elif integrator == "adaptive" and batch and t_span[0] != t_span[1]:
+        m = thetas.shape[0]
+        x0_stack = np.broadcast_to(np.asarray(x0, dtype=float),
+                                   (m, model.dim))
+
+        def field(t, state_stack, theta_stack):
+            return model.drift_batch(state_stack, theta_stack)
+
+        sol = dopri_batch(field, x0_stack, t_span, t_eval=t_eval,
+                          rtol=rtol, atol=atol, lane_args=thetas)
+        for name, w in weights.items():
+            values[name] = sol.states @ w
     else:
         for k, theta in enumerate(thetas):
             if t_span[0] == t_span[1]:

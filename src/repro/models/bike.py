@@ -76,6 +76,9 @@ def make_bike_station_model(
         # Piecewise constant drift: zero Jacobian away from the boundary.
         return np.zeros((1, 1))
 
+    def jacobian_batch(x, theta):
+        return np.zeros((x.shape[0], 1, 1))
+
     return PopulationModel(
         name="bike_station",
         state_names=("occupied",),
@@ -84,6 +87,7 @@ def make_bike_station_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=([0.0], [1.0]),
         observables={"occupied": [1.0]},
     )

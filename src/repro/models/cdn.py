@@ -94,6 +94,16 @@ def make_cdn_cache_model(
             ]
         )
 
+    def jacobian_batch(x, theta):
+        h, w = x[:, 0], x[:, 1]
+        th = theta[:, 0]
+        jac = np.empty((x.shape[0], 2, 2))
+        jac[:, 0, 0] = -th * ((1.0 - h) + (1.0 - h - w)) - gamma
+        jac[:, 0, 1] = -th * (1.0 - h)
+        jac[:, 1, 0] = gamma
+        jac[:, 1, 1] = -mu
+        return jac
+
     return PopulationModel(
         name="cdn_cache",
         state_names=("hot", "warm"),
@@ -102,6 +112,7 @@ def make_cdn_cache_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=([0.0, 0.0], [1.0, 1.0]),
         observables={
             "hit_rate": [1.0, 0.0],

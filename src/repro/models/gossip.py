@@ -100,6 +100,16 @@ def make_gossip_model(
             ]
         )
 
+    def jacobian_batch(x, theta):
+        ig, sp = x[:, 0], x[:, 1]
+        th = theta[:, 0]
+        jac = np.empty((x.shape[0], 2, 2))
+        jac[:, 0, 0] = -delta - th * sp
+        jac[:, 0, 1] = -delta - th * ig
+        jac[:, 1, 0] = th * sp + k * sp
+        jac[:, 1, 1] = th * ig - k * (1.0 - ig)
+        return jac
+
     return PopulationModel(
         name="gossip_push_pull",
         state_names=("X", "Y"),
@@ -108,6 +118,7 @@ def make_gossip_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=([0.0, 0.0], [1.0, 1.0]),
         observables={
             "ignorant": [1.0, 0.0],

@@ -244,6 +244,19 @@ def make_gps_poisson_model(
         creation_grad = np.diag([-lam1, -lam2])
         return creation_grad - service_grad
 
+    def jacobian_batch(x, theta):
+        q1 = np.maximum(x[:, 0], 0.0)
+        q2 = np.maximum(x[:, 1], 0.0)
+        lam1, lam2 = theta[:, 0], theta[:, 1]
+        den = np.maximum(phi[0] * q1 + phi[1] * q2, _JACOBIAN_FLOOR)
+        den2 = den ** 2
+        jac = np.empty((x.shape[0], 2, 2))
+        jac[:, 0, 0] = -lam1 - capacity * mu[0] * phi[0] * (den - q1 * phi[0]) / den2
+        jac[:, 0, 1] = capacity * mu[0] * phi[0] * q1 * phi[1] / den2
+        jac[:, 1, 0] = capacity * mu[1] * phi[1] * q2 * phi[0] / den2
+        jac[:, 1, 1] = -lam2 - capacity * mu[1] * phi[1] * (den - q2 * phi[1]) / den2
+        return jac
+
     return PopulationModel(
         name="gps_poisson",
         state_names=("q1", "q2"),
@@ -252,6 +265,7 @@ def make_gps_poisson_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=([0.0, 0.0], [n1, n2]),
         observables={
             "Q1": [1.0 / n1, 0.0],
@@ -397,6 +411,31 @@ def make_gps_map_model(
         jac[3, 3] = -activation[1]
         return jac
 
+    def jacobian_batch(x, theta):
+        q1 = np.maximum(x[:, 0], 0.0)
+        q2 = np.maximum(x[:, 2], 0.0)
+        lam1, lam2 = theta[:, 0], theta[:, 1]
+        den = np.maximum(phi[0] * q1 + phi[1] * q2, _JACOBIAN_FLOOR)
+        den2 = den ** 2
+        ds1_dq1 = capacity * mu[0] * phi[0] * (den - q1 * phi[0]) / den2
+        ds1_dq2 = -capacity * mu[0] * phi[0] * q1 * phi[1] / den2
+        ds2_dq1 = -capacity * mu[1] * phi[1] * q2 * phi[0] / den2
+        ds2_dq2 = capacity * mu[1] * phi[1] * (den - q2 * phi[1]) / den2
+        jac = np.zeros((x.shape[0], 4, 4))
+        jac[:, 0, 0] = -lam1 - ds1_dq1
+        jac[:, 0, 1] = -lam1
+        jac[:, 0, 2] = -ds1_dq2
+        jac[:, 1, 0] = ds1_dq1
+        jac[:, 1, 1] = -activation[0]
+        jac[:, 1, 2] = ds1_dq2
+        jac[:, 2, 0] = -ds2_dq1
+        jac[:, 2, 2] = -lam2 - ds2_dq2
+        jac[:, 2, 3] = -lam2
+        jac[:, 3, 0] = ds2_dq1
+        jac[:, 3, 2] = ds2_dq2
+        jac[:, 3, 3] = -activation[1]
+        return jac
+
     return PopulationModel(
         name="gps_map",
         state_names=("q1", "e1", "q2", "e2"),
@@ -405,6 +444,7 @@ def make_gps_map_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=([0.0, 0.0, 0.0, 0.0], [n1, n1, n2, n2]),
         observables={
             "Q1": [1.0 / n1, 0.0, 0.0, 0.0],

@@ -137,6 +137,18 @@ def make_power_of_d_model(
                 jac[row, k] += mu
         return jac
 
+    def jacobian_batch(x, theta):
+        lam = theta[:, 0]
+        jac = np.zeros((x.shape[0], dim, dim))
+        for k in range(1, dim + 1):
+            row = k - 1
+            if k - 1 >= 1:
+                jac[:, row, k - 2] += lam * d * x[:, k - 2] ** (d - 1)
+            jac[:, row, k - 1] += -lam * d * x[:, k - 1] ** (d - 1) - mu
+            if k + 1 <= dim:
+                jac[:, row, k] += mu
+        return jac
+
     return PopulationModel(
         name=f"power_of_{d}_choices",
         state_names=tuple(f"x{k}" for k in range(1, dim + 1)),
@@ -145,6 +157,7 @@ def make_power_of_d_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=(np.zeros(dim), np.ones(dim)),
         observables={
             "busy_fraction": np.eye(dim)[0],

@@ -111,6 +111,15 @@ def make_repairable_queue_model(
             ]
         )
 
+    def jacobian_batch(x, theta):
+        q, b = x[:, 0], x[:, 1]
+        lam, gam = theta[:, 0], theta[:, 1]
+        jac = np.zeros((x.shape[0], 2, 2))
+        jac[:, 0, 0] = -lam - mu * (c - b)
+        jac[:, 0, 1] = mu * q
+        jac[:, 1, 1] = -gam - rho
+        return jac
+
     return PopulationModel(
         name="repairable_queue",
         state_names=("q", "b"),
@@ -119,6 +128,7 @@ def make_repairable_queue_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=([0.0, 0.0], [1.0, c]),
         observables={
             "queue": [1.0, 0.0],

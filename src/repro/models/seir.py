@@ -103,6 +103,20 @@ def make_seir_model(
             ]
         )
 
+    def jacobian_batch(x, theta):
+        s, i = x[:, 0], x[:, 2]
+        th = theta[:, 0]
+        jac = np.zeros((x.shape[0], 3, 3))
+        jac[:, 0, 0] = -c - a - th * i
+        jac[:, 0, 1] = -c
+        jac[:, 0, 2] = -c - th * s
+        jac[:, 1, 0] = a + th * i
+        jac[:, 1, 1] = -sigma
+        jac[:, 1, 2] = th * s
+        jac[:, 2, 1] = sigma
+        jac[:, 2, 2] = -b
+        return jac
+
     return PopulationModel(
         name="seir_reduced",
         state_names=("S", "E", "I"),
@@ -111,6 +125,7 @@ def make_seir_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]),
         observables={
             "S": [1.0, 0.0, 0.0],

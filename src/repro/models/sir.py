@@ -110,6 +110,16 @@ def make_sir_model(
             ]
         )
 
+    def jacobian_batch(x, theta):
+        s, i = x[:, 0], x[:, 1]
+        th = theta[:, 0]
+        jac = np.empty((x.shape[0], 2, 2))
+        jac[:, 0, 0] = -(a + c) - th * i
+        jac[:, 0, 1] = -c - th * s
+        jac[:, 1, 0] = a + th * i
+        jac[:, 1, 1] = th * s - b
+        return jac
+
     return PopulationModel(
         name="sir_reduced",
         state_names=("S", "I"),
@@ -118,6 +128,7 @@ def make_sir_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=([0.0, 0.0], [1.0, 1.0]),
         observables={
             "S": [1.0, 0.0],
@@ -188,6 +199,19 @@ def make_sir_full_model(
             ]
         )
 
+    def jacobian_batch(x, theta):
+        s, i = x[:, 0], x[:, 1]
+        th = theta[:, 0]
+        jac = np.zeros((x.shape[0], 3, 3))
+        jac[:, 0, 0] = -a - th * i
+        jac[:, 0, 1] = -th * s
+        jac[:, 0, 2] = c
+        jac[:, 1, 0] = a + th * i
+        jac[:, 1, 1] = th * s - b
+        jac[:, 2, 1] = b
+        jac[:, 2, 2] = -c
+        return jac
+
     return PopulationModel(
         name="sir_full",
         state_names=("S", "I", "R"),
@@ -196,6 +220,7 @@ def make_sir_full_model(
         affine_drift=affine_drift,
         affine_drift_batch=affine_drift_batch,
         drift_jacobian=jacobian,
+        drift_jacobian_batch=jacobian_batch,
         state_bounds=([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]),
         conservations=[([1.0, 1.0, 1.0], 1.0)],
         observables={

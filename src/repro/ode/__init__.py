@@ -14,8 +14,24 @@ families:
 Both produce :class:`Trajectory` objects with linear-interpolation
 evaluation, and :func:`find_fixed_point` locates equilibria by integrating
 to stationarity and polishing with a Newton solve.
+
+Each family also has a *batched* form in :mod:`repro.ode.batch` that
+advances an ``(n_lanes, d)`` stack of IVPs as one array program:
+:func:`rk4_integrate_batch` / :func:`rk4_integrate_controlled_batch`
+(lockstep, bit-identical to the scalar loop lane by lane),
+:func:`dopri_batch` (adaptive Dormand–Prince 5(4) with per-lane error
+control and lane retirement) and :func:`find_fixed_point_batch`.
 """
 
+from repro.ode.batch import (
+    FixedPointBatch,
+    TrajectoryBatch,
+    dopri_batch,
+    find_fixed_point_batch,
+    pad_grids,
+    rk4_integrate_batch,
+    rk4_integrate_controlled_batch,
+)
 from repro.ode.integrators import (
     Trajectory,
     find_fixed_point,
@@ -27,9 +43,16 @@ from repro.ode.integrators import (
 
 __all__ = [
     "Trajectory",
+    "TrajectoryBatch",
+    "FixedPointBatch",
+    "pad_grids",
     "rk4_step",
     "rk4_integrate",
     "rk4_integrate_controlled",
+    "rk4_integrate_batch",
+    "rk4_integrate_controlled_batch",
+    "dopri_batch",
     "solve_ode",
     "find_fixed_point",
+    "find_fixed_point_batch",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -17,6 +18,11 @@ __all__ = [
     "solve_ode",
     "find_fixed_point",
 ]
+
+#: Residual level below which an unconverged settle is still *usable* —
+#: the iterate is near an equilibrium but the requested tolerance was
+#: missed.  Above it the settle is considered to have found nothing.
+_SETTLE_ACCEPT_RESIDUAL = 1e-5
 
 
 @dataclass
@@ -68,11 +74,37 @@ class Trajectory:
         return self.times.shape[0]
 
     def __call__(self, t) -> np.ndarray:
-        """Linear interpolation of the state at time(s) ``t``."""
+        """Linear interpolation of the state at time(s) ``t``.
+
+        Works for decreasing-time trajectories too (backward costate
+        solves produce them): the interpolation runs on the reversed
+        view, so queries are answered in the trajectory's own time
+        coordinates.  All dimensions are gathered in one vectorized
+        ``searchsorted`` pass (out-of-range queries clamp to the
+        endpoint states, matching ``np.interp``).
+        """
         t_arr = np.atleast_1d(np.asarray(t, dtype=float))
-        out = np.empty((t_arr.shape[0], self.dim))
-        for j in range(self.dim):
-            out[:, j] = np.interp(t_arr, self.times, self.states[:, j])
+        times, states = self.times, self.states
+        if times.shape[0] > 1 and times[0] > times[-1]:
+            # np.interp-style gathers need increasing abscissae; a
+            # backward solve's trajectory is interpolated on its
+            # reversed view (same polyline, same values).
+            times = times[::-1]
+            states = states[::-1]
+        if times.shape[0] == 1:
+            out = np.broadcast_to(states[0], (t_arr.shape[0], self.dim)).copy()
+        else:
+            t_clip = np.clip(t_arr, times[0], times[-1])
+            idx = np.clip(np.searchsorted(times, t_clip, side="right") - 1,
+                          0, times.shape[0] - 2)
+            t0 = times[idx]
+            span = times[idx + 1] - t0
+            # Duplicate consecutive times (a zero-span lane's [t0, t0]
+            # grid) must not divide to NaN; np.interp resolves such ties
+            # to the right-hand sample, so weight 1 matches it.
+            w = np.ones_like(span)
+            np.divide(t_clip - t0, span, out=w, where=span != 0.0)
+            out = states[idx] + w[:, None] * (states[idx + 1] - states[idx])
         if np.isscalar(t) or np.asarray(t).ndim == 0:
             return out[0]
         return out
@@ -99,6 +131,23 @@ def rk4_step(f: Callable, t: float, x: np.ndarray, dt: float) -> np.ndarray:
     k2 = f(t + 0.5 * dt, x + 0.5 * dt * k1)
     k3 = f(t + 0.5 * dt, x + 0.5 * dt * k2)
     k4 = f(t + dt, x + dt * k3)
+    return x + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def _rk4_step_controlled(f: Callable, t: float, x: np.ndarray, dt: float,
+                         u: np.ndarray) -> np.ndarray:
+    """One RK4 step of ``x' = f(t, x, u)`` with the control held constant.
+
+    The control is threaded straight into the stage evaluations instead
+    of freezing it in a per-interval closure, so the grid loop in
+    :func:`rk4_integrate_controlled` pays no per-step lambda
+    construction.  The stage arithmetic is identical to
+    :func:`rk4_step` applied to ``lambda t, y: f(t, y, u)``.
+    """
+    k1 = f(t, x, u)
+    k2 = f(t + 0.5 * dt, x + 0.5 * dt * k1, u)
+    k3 = f(t + 0.5 * dt, x + 0.5 * dt * k2, u)
+    k4 = f(t + dt, x + dt * k3, u)
     return x + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
 
 
@@ -153,8 +202,7 @@ def rk4_integrate_controlled(
     states[0] = x
     for i in range(t_grid.shape[0] - 1):
         dt = t_grid[i + 1] - t_grid[i]
-        u = ctrl[i]
-        x = rk4_step(lambda t, y: f(t, y, u), t_grid[i], x, dt)
+        x = _rk4_step_controlled(f, t_grid[i], x, dt, ctrl[i])
         states[i + 1] = x
     return Trajectory(t_grid.copy(), states)
 
@@ -208,7 +256,11 @@ def find_fixed_point(
     ODEs ``x' = f(x, theta)`` for a frozen ``theta``.
 
     Raises ``RuntimeError`` when no equilibrium is approached, which is the
-    signal used by callers to fall back to limit-cycle handling.
+    signal used by callers to fall back to limit-cycle handling.  A settle
+    that exhausts its rounds with a residual *above* ``tol`` but below the
+    acceptance level ``1e-5`` is returned (it is near an equilibrium) with
+    a ``RuntimeWarning`` reporting the achieved residual, so callers are
+    never handed a silently-degraded fixed point.
     """
     x = np.asarray(x0, dtype=float).copy()
     wrapped = lambda t, y: f(y)  # noqa: E731 - tiny adapter
@@ -219,12 +271,24 @@ def find_fixed_point(
         if residual < tol:
             break
     else:
-        if float(np.linalg.norm(f(x))) > 1e-5:
+        # Recomputed here so max_rounds=0 (skip straight to the Newton
+        # polish) judges the *actual* residual at x0, not a sentinel.
+        residual = float(np.linalg.norm(f(x)))
+        if residual > _SETTLE_ACCEPT_RESIDUAL:
             raise RuntimeError(
                 "no fixed point approached after "
                 f"{max_rounds * settle_time:.0f} time units "
-                f"(|f| = {np.linalg.norm(f(x)):.2e}); "
+                f"(|f| = {residual:.2e}); "
                 "the dynamics may have a limit cycle"
+            )
+        if residual >= tol:
+            warnings.warn(
+                f"find_fixed_point stopped with residual |f| = "
+                f"{residual:.2e} > tol = {tol:.2e} after {max_rounds} "
+                "rounds; the returned point is near an equilibrium but "
+                "did not reach the requested tolerance",
+                RuntimeWarning,
+                stacklevel=2,
             )
     if polish:
         solution, info, ier, _ = fsolve(f, x, fprime=jac, full_output=True)

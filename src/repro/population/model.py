@@ -59,6 +59,15 @@ class PopulationModel:
     drift_jacobian:
         Optional analytic Jacobian ``(x, theta) -> (d, d)`` of the drift
         in ``x``; finite differences are used when absent.
+    drift_jacobian_batch:
+        Optional *batched* form of ``drift_jacobian``: a callable
+        ``(X, Theta) -> (n, d, d)`` mapping row-major state and
+        parameter stacks to the stack of Jacobians.  Declaring it lets
+        :meth:`jacobian_x_batch` — the inner loop of the batched
+        Pontryagin costate sweep — evaluate whole lane stacks in a few
+        NumPy calls; the first batched call is spot-checked against the
+        scalar Jacobian, and without the declaration the method falls
+        back to a per-row loop (correct, not fast).
     state_bounds:
         Optional ``(lower, upper)`` vectors bounding the admissible
         normalised state space (e.g. ``([0, 0], [1, 1])``); used by the
@@ -84,6 +93,7 @@ class PopulationModel:
         affine_drift: Optional[Callable] = None,
         affine_drift_batch: Optional[Callable] = None,
         drift_jacobian: Optional[Callable] = None,
+        drift_jacobian_batch: Optional[Callable] = None,
         state_bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
         conservations: Optional[List[Tuple[Sequence[float], float]]] = None,
         observables: Optional[dict] = None,
@@ -115,6 +125,13 @@ class PopulationModel:
             )
         self._affine_batch_checked = False
         self._drift_jacobian = drift_jacobian
+        self._drift_jacobian_batch = drift_jacobian_batch
+        if drift_jacobian_batch is not None and drift_jacobian is None:
+            raise ValueError(
+                "drift_jacobian_batch requires the scalar drift_jacobian "
+                "(the batched form is validated against it)"
+            )
+        self._jacobian_batch_checked = False
         if state_bounds is not None:
             lower, upper = state_bounds
             self.state_lower = np.asarray(lower, dtype=float)
@@ -145,6 +162,9 @@ class PopulationModel:
         # by transition_rates_batch (clamped) and drift_batch (raw).
         self._batch_rate_ok: dict = {}
         self._batch_drift_ok: dict = {}
+        # Set once every transition's raw batched rate is validated: the
+        # drift_batch hot path then skips the validation machinery.
+        self._drift_batch_fast = False
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -297,13 +317,23 @@ class PopulationModel:
         smooth across the state-space boundary and agrees with the
         scalar drift row-by-row.  Rate functions are evaluated
         coordinate-major (see :meth:`transition_rates_batch`) with the
-        same lazy per-transition validation and per-row fallback.
+        same lazy per-transition validation and per-row fallback.  Once
+        every transition's batched rate has validated, subsequent calls
+        skip the validation machinery entirely (same calls, same
+        accumulation order — the fast path is bit-identical): this is
+        the innermost call of every batched RK4 stage, so the bookkeeping
+        would otherwise dominate small-stack integrations.
         """
         x = np.atleast_2d(np.asarray(x, dtype=float))
         theta = np.atleast_2d(np.asarray(theta, dtype=float))
         n = x.shape[0]
         out = np.zeros((n, self.dim))
         x_t, theta_t = x.T, theta.T
+        if self._drift_batch_fast:
+            for tr in self.transitions:
+                out += np.asarray(tr.rate(x_t, theta_t), dtype=float)[:, None] \
+                    * tr.change[None, :]
+            return out
         can_validate = n >= 2 and (
             bool(np.any(x != x[0])) or bool(np.any(theta != theta[0]))
         )
@@ -321,6 +351,10 @@ class PopulationModel:
             if status is not None:
                 self._batch_drift_ok[e] = status
             out += vals[:, None] * tr.change[None, :]
+        if len(self._batch_drift_ok) == len(self.transitions) and all(
+            v is True for v in self._batch_drift_ok.values()
+        ):
+            self._drift_batch_fast = True
         return out
 
     def drift_fn(self, theta) -> Callable:
@@ -427,6 +461,58 @@ class PopulationModel:
                 )
             return jac
         return numeric_jacobian(lambda y: self.drift(y, theta), x)
+
+    def jacobian_x_batch(self, x, theta) -> np.ndarray:
+        """Batched drift Jacobians in ``x``: shape ``(n, d, d)``.
+
+        Parameters
+        ----------
+        x:
+            Row-major batch of states, shape ``(n, d)``.
+        theta:
+            Matching batch of parameters, shape ``(n, p)`` (one per
+            row — Pontryagin lanes carry different controls).
+
+        Uses the declared ``drift_jacobian_batch`` when available (one
+        vectorized call; its first use is spot-checked against the
+        scalar Jacobian, and a mismatch raises — a wrong Jacobian
+        silently bends every costate integrated with it).  Falls back
+        to a per-row loop over :meth:`jacobian_x` otherwise.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        theta = np.asarray(theta, dtype=float)
+        if theta.ndim == 1:
+            theta = theta[None, :]
+        n = x.shape[0]
+        if theta.shape[0] != n:
+            raise ValueError(
+                f"theta batch has {theta.shape[0]} rows for {n} states"
+            )
+        if self._drift_jacobian_batch is not None:
+            jacs = np.asarray(self._drift_jacobian_batch(x, theta),
+                              dtype=float)
+            if jacs.shape != (n, self.dim, self.dim):
+                raise ValueError(
+                    f"batched Jacobian has shape {jacs.shape}, "
+                    f"expected ({n}, {self.dim}, {self.dim})"
+                )
+            if not self._jacobian_batch_checked and n:
+                for r in {0, n - 1}:
+                    ref = self.jacobian_x(x[r], theta[r])
+                    if not np.allclose(ref, jacs[r], rtol=1e-9, atol=1e-12):
+                        raise ValueError(
+                            f"model {self.name!r}: drift_jacobian_batch "
+                            f"disagrees with drift_jacobian at "
+                            f"x={x[r].tolist()}"
+                        )
+                self._jacobian_batch_checked = True
+            return jacs
+        out = np.empty((n, self.dim, self.dim))
+        for r in range(n):
+            out[r] = self.jacobian_x(x[r], theta[r])
+        return out
 
     # ------------------------------------------------------------------
     # State-space housekeeping

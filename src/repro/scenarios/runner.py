@@ -123,7 +123,8 @@ def _run_pontryagin(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         horizons = np.linspace(spec.horizon / n, spec.horizon, n)
     horizons = np.asarray(horizons, dtype=float)
     kwargs = {}
-    for key in ("steps_per_unit", "min_steps", "max_iter", "tol", "batch"):
+    for key in ("steps_per_unit", "min_steps", "max_iter", "tol", "batch",
+                "lanes"):
         if key in opts:
             kwargs[key] = opts[key]
     if "sides" in opts:
@@ -201,8 +202,12 @@ def _run_template(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
 def _run_steadystate(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
     opts = q.opts
     out = QuestionOutcome()
+    batch = bool(opts.get("batch", True))
     rect = hull_steady_rectangle(
-        model, spec.x0, horizon=float(opts.get("horizon", max(spec.horizon, 50.0)))
+        model, spec.x0,
+        horizon=float(opts.get("horizon", max(spec.horizon, 50.0))),
+        batch=batch,
+        settle=bool(opts.get("settle", True)),
     )
     out.findings[q.prefixed("steady_hull_converged")] = float(rect.converged)
     for i, name in enumerate(model.state_names):
@@ -226,6 +231,7 @@ def _run_steadystate(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         curve = uncertain_fixed_points(
             model, resolution=int(opts.get("fp_resolution", 11)),
             x0_guess=opts.get("x0_guess"),
+            batch=batch,
         )
         inside = sum(region.contains(fp, tol=1e-3) for fp in curve)
         out.findings[q.prefixed("uncertain_fp_inside_region")] = float(inside)

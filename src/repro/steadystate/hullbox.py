@@ -16,7 +16,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.bounds.hull import differential_hull_bounds
+from repro.bounds.hull import differential_hull_bounds, hull_vector_field
+from repro.ode import find_fixed_point_batch
 
 __all__ = ["HullRectangle", "hull_steady_rectangle"]
 
@@ -46,6 +47,7 @@ def hull_steady_rectangle(
     residual_window: float = 0.05,
     residual_tol: float = 1e-6,
     batch: bool = True,
+    settle: bool = True,
     **hull_kwargs,
 ) -> HullRectangle:
     """Integrate the hull pair to stationarity (or detect divergence).
@@ -66,6 +68,16 @@ def hull_steady_rectangle(
         default; the long stationarity horizon makes this the most
         extremisation-heavy workload in the library).  ``batch=False``
         selects the legacy per-corner loop.
+    settle:
+        After a finite integration, polish the rectangle to the *exact*
+        zero of the hull field through
+        :func:`~repro.ode.find_fixed_point_batch` (settle + Newton
+        polish on the stacked ``(xlo, xhi)`` state).  The hull pair
+        approaches its stationary rectangle from the inside, so the
+        settled rectangle can only grow — soundness is preserved — and
+        the reported ``residual`` becomes the field residual at the
+        fixed point.  A settle that finds no equilibrium (slowly
+        diverging hull) leaves the integration result untouched.
     hull_kwargs:
         Forwarded to the hull integrator (sampling, refinement, blow-up
         threshold, ...).
@@ -88,10 +100,58 @@ def hull_steady_rectangle(
         )
     else:
         residual = np.inf
+    lower = bounds.lower[-1].copy()
+    upper = bounds.upper[-1].copy()
+    converged = finite and residual <= residual_tol
+    if settle and finite:
+        # Forward only the kwargs the field builder owns, so its own
+        # defaults stay the single source of truth and the settled field
+        # is exactly the field that was integrated.
+        field = hull_vector_field(
+            model,
+            batch=batch,
+            **{key: hull_kwargs[key]
+               for key in ("x_samples_per_axis", "refine", "theta_method")
+               if key in hull_kwargs},
+        )
+
+        def field_batch(Z):
+            return np.stack([field(0.0, z) for z in Z])
+
+        try:
+            fp = find_fixed_point_batch(
+                field_batch,
+                np.concatenate([lower, upper])[None, :],
+                settle_time=float(horizon) / 4.0,
+                max_rounds=2,
+            )
+        except RuntimeError:
+            # No equilibrium within reach: keep the honest integration
+            # result (e.g. a hull diverging slower than the blow-up
+            # threshold detects).
+            pass
+        else:
+            z = fp.points[0]
+            d = model.dim
+            # Soundness gate: the hull pair approaches its stationary
+            # rectangle from the inside, so a legitimate settle can only
+            # *grow* the integrated rectangle (up to solver noise).  A
+            # Newton polish that jumped to a different, smaller zero of
+            # the field must be discarded, not served as a bound.
+            grow_tol = 1e-7 * (1.0 + float(np.max(np.abs(z))))
+            sound = (
+                np.all(z[d:] >= z[:d] - 1e-12)
+                and np.all(z[:d] <= lower + grow_tol)
+                and np.all(z[d:] >= upper - grow_tol)
+            )
+            if sound:
+                lower, upper = z[:d].copy(), z[d:].copy()
+                residual = float(fp.residuals[0])
+                converged = converged or residual <= residual_tol
     return HullRectangle(
-        lower=bounds.lower[-1].copy(),
-        upper=bounds.upper[-1].copy(),
-        converged=finite and residual <= residual_tol,
+        lower=lower,
+        upper=upper,
+        converged=converged,
         residual=residual,
         state_names=model.state_names,
     )

@@ -56,8 +56,11 @@ FIG4_UPPER = np.array([
 
 @pytest.fixture(scope="module")
 def fig1_bounds():
+    # The golden pins live on the scalar (warm-started sequential) path;
+    # the lane-parallel default is pinned against it in
+    # tests/test_ode_batch.py and against the same literals below.
     return pontryagin_transient_bounds(
-        make_sir_model(), X0, FIG1_HORIZONS, observables=["I"]
+        make_sir_model(), X0, FIG1_HORIZONS, observables=["I"], lanes=False
     )
 
 
@@ -77,6 +80,23 @@ class TestFig1PontryaginGolden:
 
     def test_bounds_are_ordered(self, fig1_bounds):
         assert np.all(fig1_bounds.lower["I"] <= fig1_bounds.upper["I"])
+
+    def test_lane_parallel_path_hits_pins(self):
+        """The default lane-parallel sweep reproduces the golden curves.
+
+        Cold starts converge to the same bang-bang optima; the slightly
+        looser tolerance absorbs the value-stability stopping rule
+        firing a sweep earlier than the warm-started scalar path did
+        when the pins were recorded (~1e-4 relative), which is still far
+        below any behavioural change in the bounds.
+        """
+        lanes = pontryagin_transient_bounds(
+            make_sir_model(), X0, FIG1_HORIZONS, observables=["I"]
+        )
+        np.testing.assert_allclose(lanes.lower["I"], FIG1_LOWER_I,
+                                   rtol=3e-4, atol=1e-8)
+        np.testing.assert_allclose(lanes.upper["I"], FIG1_UPPER_I,
+                                   rtol=3e-4, atol=1e-8)
 
 
 class TestFig4HullGolden:

@@ -53,6 +53,56 @@ class TestTrajectory:
         rev = traj.reversed_time()
         assert rev.times[0] == 0.0 and rev.times[-1] == 1.0
 
+    def test_interpolation_matches_interp_on_ascending_grid(self, rng):
+        times = np.sort(rng.uniform(0.0, 5.0, 9))
+        states = rng.normal(size=(9, 3))
+        traj = Trajectory(times, states)
+        queries = np.concatenate([[times[0] - 1.0, times[-1] + 1.0],
+                                  rng.uniform(0.0, 5.0, 20), times])
+        out = traj(queries)
+        for j in range(3):
+            np.testing.assert_allclose(
+                out[:, j], np.interp(queries, times, states[:, j]),
+                rtol=0, atol=1e-13,
+            )
+
+    def test_decreasing_time_interpolation(self):
+        # Regression: backward costate solves produce decreasing-time
+        # trajectories; np.interp silently returns garbage for
+        # decreasing xp, so evaluation must run on the reversed view.
+        traj = Trajectory([2.0, 1.0, 0.0], [[4.0, 0.0], [1.0, 1.0],
+                                            [0.0, 2.0]])
+        np.testing.assert_allclose(traj(1.5), [2.5, 0.5])
+        np.testing.assert_allclose(traj(0.5), [0.5, 1.5])
+        # Matches the explicitly-reversed trajectory everywhere.
+        rev = traj.reversed_time()
+        queries = np.linspace(-0.5, 2.5, 13)
+        np.testing.assert_allclose(traj(queries), rev(queries),
+                                   rtol=0, atol=1e-14)
+
+    def test_decreasing_time_clamps_to_endpoints(self):
+        traj = Trajectory([1.0, 0.0], [[5.0], [3.0]])
+        np.testing.assert_allclose(traj(2.0), [5.0])
+        np.testing.assert_allclose(traj(-1.0), [3.0])
+
+    def test_scalar_query_returns_vector(self):
+        traj = Trajectory([0.0, 1.0], [[0.0, 1.0], [2.0, 3.0]])
+        out = traj(0.5)
+        assert out.shape == (2,)
+
+    def test_duplicate_times_resolve_like_interp(self):
+        # Regression: a zero-span lane's [t0, t0] grid must not divide
+        # to NaN; ties resolve to the right-hand sample, as np.interp
+        # does.
+        traj = Trajectory([0.0, 0.0], [[1.0], [2.0]])
+        np.testing.assert_allclose(traj(0.0), [2.0])
+        stepped = Trajectory([0.0, 1.0, 1.0, 2.0],
+                             [[0.0], [1.0], [5.0], [6.0]])
+        np.testing.assert_allclose(
+            stepped([0.5, 1.0, 1.5]).ravel(),
+            np.interp([0.5, 1.0, 1.5], stepped.times, stepped.states[:, 0]),
+        )
+
 
 class TestRK4:
     def test_step_exact_for_cubic(self):
@@ -159,3 +209,47 @@ class TestFindFixedPoint:
     def test_residual_at_fixed_point(self, sir_model):
         fp = find_fixed_point(sir_model.drift_fn([10.0]), np.array([0.7, 0.05]))
         assert np.linalg.norm(sir_model.drift(fp, [10.0])) < 1e-9
+
+    def test_near_miss_residual_warns(self):
+        # Regression: a settle that exhausts its rounds with residual in
+        # (tol, 1e-5] used to return silently; it must now report the
+        # achieved residual.  Linear decay x' = -x over 12 time units
+        # leaves |f| = e^-12 ~ 6e-6 — inside the warn band for
+        # tol = 1e-12.
+        f = lambda x: -x
+        with pytest.warns(RuntimeWarning, match="residual"):
+            fp = find_fixed_point(f, np.array([1.0]), settle_time=6.0,
+                                  max_rounds=2, tol=1e-12, polish=False)
+        # The returned point is the (near-equilibrium) final iterate.
+        assert abs(fp[0]) <= 1e-5
+
+    def test_polish_rejects_faraway_fsolve_root(self):
+        # f has a root at x = 10, but the settle stalls near x = 0 (the
+        # drift is ~flat there); fsolve jumps to the far root and the
+        # polish must reject a solution that moved the iterate by more
+        # than 10% of its norm.  The flat region keeps |f| below the
+        # 1e-5 acceptance level, so no RuntimeError either.
+        def f(x):
+            return np.where(np.abs(x) < 1.0, 1e-7 * np.ones_like(x),
+                            10.0 - x)
+
+        with pytest.warns(RuntimeWarning):
+            fp = find_fixed_point(f, np.array([0.0]), settle_time=1.0,
+                                  max_rounds=1, polish=True)
+        assert abs(fp[0]) < 1.0  # not the x = 10 fsolve root
+
+    def test_max_rounds_zero_goes_straight_to_polish(self):
+        # Regression: max_rounds=0 with x0 already an equilibrium used
+        # to raise on a sentinel infinite residual.
+        fp = find_fixed_point(lambda x: -x, np.array([0.0]), max_rounds=0)
+        np.testing.assert_allclose(fp, [0.0], atol=1e-12)
+
+    def test_polish_accepts_nearby_root(self):
+        # Slow decay toward x* = 1: the settle stops with |f| ~ 6e-8
+        # (warn band for tol = 1e-10), and fsolve finishes the job from
+        # nearby, so the polished point is kept.
+        f = lambda x: 1e-2 * (1.0 - x)
+        with pytest.warns(RuntimeWarning):
+            fp = find_fixed_point(f, np.array([0.0]), tol=1e-10,
+                                  polish=True)
+        assert abs(fp[0] - 1.0) < 1e-9

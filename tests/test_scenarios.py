@@ -147,10 +147,14 @@ class TestRunScenario:
         lower = run.result.series["I_imprecise_lower"]
         upper = run.result.series["I_imprecise_upper"]
         np.testing.assert_allclose(lower.times, FIG1_HORIZONS)
+        # rtol 3e-4: the default lane-parallel sweep cold-starts every
+        # horizon, so one lane stops ~1e-4 relative from the
+        # warm-started value the pins were recorded with (see
+        # tests/test_golden_figures.py).
         np.testing.assert_allclose(lower.values, FIG1_LOWER_I,
-                                   rtol=1e-4, atol=1e-8)
+                                   rtol=3e-4, atol=1e-8)
         np.testing.assert_allclose(upper.values, FIG1_UPPER_I,
-                                   rtol=1e-4, atol=1e-8)
+                                   rtol=3e-4, atol=1e-8)
         # The uncertain envelope sits inside the imprecise bounds.
         env_upper = run.result.series["I_uncertain_upper"]
         for t, hi in zip(FIG1_HORIZONS, upper.values):
