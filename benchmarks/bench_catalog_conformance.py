@@ -1,0 +1,81 @@
+"""Full-catalog conformance sweep — the cost of "tests for free".
+
+Every registered scenario inherits its soundness suite from
+:class:`repro.testing.ScenarioConformance`; this bench times that
+inheritance across the whole catalog: one ``run_all()`` per unique
+model (bound-family ordering, batch-vs-scalar kernels, finite-``N``
+ensembles, interval-DTMC conservativeness, validity perturbation).
+
+The sweep doubles as a standing audit — a violation anywhere in the
+catalog fails the bench, so the archived timing is also a certificate
+that every entry passed.  Timings land per check family in
+``benchmarks/results/BENCH_scenarios.json`` under the
+``catalog_conformance`` experiment id.
+
+Run directly (``--smoke`` for the CI-sized variant: ensembles shrunk,
+timings not archived)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_catalog_conformance.py [--smoke]
+"""
+
+import argparse
+import time
+from collections import defaultdict
+
+from _common import record_timing
+from repro.testing import ScenarioConformance, unique_model_cases
+
+
+def sweep(smoke: bool) -> dict:
+    population_size = 100 if smoke else 200
+    n_runs = 8 if smoke else 10
+
+    per_check = defaultdict(float)
+    scenarios = 0
+    checks = 0
+    start = time.perf_counter()
+    for spec in unique_model_cases():
+        report = ScenarioConformance(spec).run_all(
+            population_size=population_size, n_runs=n_runs,
+        )
+        print(report.render())
+        scenarios += 1
+        for outcome in report.outcomes:
+            if outcome.status == "passed":
+                checks += 1
+                per_check[outcome.name] += outcome.seconds
+    total = time.perf_counter() - start
+    return {
+        "total_seconds": round(total, 6),
+        "scenarios": scenarios,
+        "checks_passed": checks,
+        "seconds_per_check_family": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(per_check.items())
+        },
+        "ensemble_population_size": population_size,
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller ensembles); timings "
+                             "are not archived")
+    args = parser.parse_args(argv)
+
+    summary = sweep(args.smoke)
+    print(f"\ncatalog conformance: {summary['scenarios']} scenarios, "
+          f"{summary['checks_passed']} checks passed in "
+          f"{summary['total_seconds']:.2f}s")
+    if not args.smoke:
+        record_timing("catalog_conformance", summary["total_seconds"],
+                      scenarios=summary["scenarios"],
+                      checks_passed=summary["checks_passed"],
+                      per_check_family=summary["seconds_per_check_family"])
+        print("recorded catalog_conformance in BENCH_scenarios.json")
+    return summary
+
+
+if __name__ == "__main__":
+    main()

@@ -16,10 +16,18 @@
   catalog (:mod:`repro.scenarios`): push–pull gossip spread, a
   repairable M/M/C service pool, and CDN content placement, each with
   paper-style imprecise parameters.
+- :mod:`repro.models.autoscaler` / :mod:`repro.models.ttlcache` /
+  :mod:`repro.models.csma` — cloud-workload extensions exercising the
+  catalog-wide conformance harness (:mod:`repro.testing`): an
+  autoscaling microservice pool with scale-up/down hysteresis, a TTL
+  cache fleet generalising the CDN model, and a CSMA wireless
+  contention cell.
 """
 
+from repro.models.autoscaler import make_autoscaler_model
 from repro.models.bike import make_bike_station_model
 from repro.models.cdn import make_cdn_cache_model
+from repro.models.csma import make_csma_model
 from repro.models.gossip import make_gossip_model
 from repro.models.gps import (
     GPS_PAPER_PARAMS,
@@ -37,6 +45,7 @@ from repro.models.sir import (
     make_sir_full_model,
     make_sir_model,
 )
+from repro.models.ttlcache import make_ttl_cache_model
 
 __all__ = [
     "make_sir_model",
@@ -54,4 +63,7 @@ __all__ = [
     "make_gossip_model",
     "make_repairable_queue_model",
     "make_cdn_cache_model",
+    "make_autoscaler_model",
+    "make_ttl_cache_model",
+    "make_csma_model",
 ]

@@ -54,8 +54,10 @@ from repro.scenarios.runner import (
     AnalysisPlan,
     RunReport,
     ScenarioRun,
+    envelope_integrator_options,
     run_question,
     run_scenario,
+    spec_envelope_options,
 )
 from repro.scenarios.spec import QUESTION_KINDS, Question, ScenarioSpec
 
@@ -71,6 +73,8 @@ __all__ = [
     "ScenarioRun",
     "run_scenario",
     "run_question",
+    "envelope_integrator_options",
+    "spec_envelope_options",
     "cache_dir",
     "cache_path",
     "clear_cache",

@@ -5,9 +5,13 @@ of the box: the paper's five case studies (SIR transient / hull /
 steady state, GPS Poisson and MAP) plus the extension workloads
 (SEIR, power-of-``d`` load balancing, finite-``N`` SIR ensembles, the
 three scenario-catalog models — gossip spread, a repairable M/M/C
-pool, CDN content placement — and the finite-chain interval-DTMC
+pool, CDN content placement — the finite-chain interval-DTMC
 scenarios that pin Škulj-style bounds against the exact imprecise
-Kolmogorov machinery).
+Kolmogorov machinery, and the cloud-workload trio — autoscaling
+microservice pool, TTL cache fleet, CSMA contention cell — whose only
+test code is the registration below: the conformance harness
+(:mod:`repro.testing`) derives their whole soundness suite from the
+spec).
 
 Importing this module registers everything; the registry triggers the
 import lazily on first lookup.  Question options are tuned so that a
@@ -21,8 +25,10 @@ from __future__ import annotations
 from repro.models import (
     gps_initial_state_map,
     gps_initial_state_poisson,
+    make_autoscaler_model,
     make_bike_station_model,
     make_cdn_cache_model,
+    make_csma_model,
     make_gossip_model,
     make_gps_map_model,
     make_gps_poisson_model,
@@ -31,6 +37,7 @@ from repro.models import (
     make_seir_model,
     make_sir_full_model,
     make_sir_model,
+    make_ttl_cache_model,
 )
 from repro.scenarios.registry import register_scenario
 from repro.scenarios.spec import Question, ScenarioSpec
@@ -58,6 +65,7 @@ register_scenario(ScenarioSpec(
                 "pontryagin question reproduces the golden-pinned "
                 "Fig. 1 values of tests/test_golden_figures.py.",
     tags=("paper", "sir", "fig1"),
+    validity={"a": (0.05, 0.3), "theta_max": (5.0, 12.0)},
 ))
 
 register_scenario(ScenarioSpec(
@@ -272,6 +280,7 @@ register_scenario(ScenarioSpec(
                 "paper's GPS example: certified queue bounds when both "
                 "the load and the failure process are adversarial.",
     tags=("extension", "queueing", "new-model"),
+    validity={"mu": (2.0, 6.0), "rho": (1.0, 3.0)},
 ))
 
 register_scenario(ScenarioSpec(
@@ -356,4 +365,97 @@ register_scenario(ScenarioSpec(
                 "can the edge hit rate be pushed by adversarial "
                 "request patterns inside the interval?",
     tags=("extension", "cdn", "new-model"),
+    validity={"gamma": (0.5, 2.0), "mu": (1.0, 4.0)},
+))
+
+register_scenario(ScenarioSpec(
+    name="autoscaler",
+    title="Autoscaling microservice pool: backlog and pool-size bounds "
+          "under uncertain arrivals with scale hysteresis",
+    model_factory=make_autoscaler_model,
+    x0=(0.3, 0.2),
+    horizon=4.0,
+    observables=("backlog", "pool"),
+    questions=(
+        Question("envelope", options={"n_times": 9, "resolution": 7}),
+        Question("pontryagin",
+                 options={"horizons": [1.0, 2.0, 4.0],
+                          "steps_per_unit": 40}),
+        Question("hull", options={"times": [0.0, 0.5, 1.0]}),
+        Question("ensemble",
+                 options={"population_size": 200, "n_runs": 12,
+                          "seed": 11}),
+        Question("dtmc_reward",
+                 options={"population_size": 6, "horizon": 1.5,
+                          "n_steps": 100}),
+    ),
+    description="Reactive capacity control: replicas spawn at rate "
+                "alpha q (cap - s) when backlog is high and retire at "
+                "beta s (1 - q) when it drains, giving scale-up/down "
+                "hysteresis; the arrival rate is only known to an "
+                "interval.  How far can an adversarial (time-varying) "
+                "demand pattern push the backlog before the pool "
+                "catches up?  The 2-D state also enumerates at small "
+                "N, so the interval-DTMC question pins finite-chain "
+                "conservativeness.",
+    tags=("extension", "cloud", "new-model"),
+    validity={"mu": (1.0, 6.0), "alpha": (0.5, 4.0), "beta": (0.5, 2.0),
+              "arrival_max": (1.0, 3.0)},
+))
+
+register_scenario(ScenarioSpec(
+    name="ttl-cache-fleet",
+    title="TTL/LRU cache fleet: hit-rate bounds under uncertain "
+          "content popularity",
+    model_factory=make_ttl_cache_model,
+    x0=(0.2, 0.1),
+    horizon=5.0,
+    observables=("hit_rate", "stale"),
+    questions=(
+        Question("envelope", options={"n_times": 9, "resolution": 7}),
+        Question("pontryagin",
+                 options={"horizons": [1.0, 2.5, 5.0],
+                          "steps_per_unit": 40}),
+        Question("template", options={"family": "box", "n_steps": 120,
+                                      "horizon": 2.5}),
+        Question("ensemble",
+                 options={"population_size": 200, "n_runs": 12,
+                          "seed": 13}),
+    ),
+    description="The CDN model generalised with a staleness "
+                "compartment: entries age out (TTL), stale entries are "
+                "refreshed in place by request traffic or evicted "
+                "(LRU), and the request intensity — a proxy for "
+                "popularity — is an interval.  Certified floor on the "
+                "fresh-hit rate under adversarial popularity churn.",
+    tags=("extension", "cloud", "cdn", "new-model"),
+    validity={"omega": (0.2, 2.0), "mu": (0.5, 3.0), "rho": (0.0, 1.0)},
+))
+
+register_scenario(ScenarioSpec(
+    name="csma-contention",
+    title="CSMA wireless cell: throughput bounds under imprecise "
+          "traffic and backoff aggressiveness",
+    model_factory=make_csma_model,
+    x0=(0.4, 0.0),
+    horizon=4.0,
+    observables=("backlogged", "throughput"),
+    questions=(
+        Question("envelope", options={"n_times": 9, "resolution": 5}),
+        Question("pontryagin",
+                 options={"horizons": [1.0, 2.0, 4.0],
+                          "steps_per_unit": 40}),
+        Question("hull", options={"times": [0.0, 0.5, 1.0]}),
+        Question("ensemble",
+                 options={"population_size": 200, "n_runs": 12,
+                          "seed": 17}),
+    ),
+    description="Carrier-sense multiple access as a mean-field "
+                "contention game: stations wake with traffic in "
+                "[lambda] and grab the medium at a backoff-controlled "
+                "rate in [beta], attenuated by the busy fraction.  A "
+                "2-D box Theta like the paper's GPS example; the "
+                "question is the certified worst-case air-time.",
+    tags=("extension", "cloud", "wireless", "new-model"),
+    validity={"mu": (1.0, 4.0)},
 ))

@@ -63,7 +63,38 @@ from repro.steadystate import (
 )
 
 __all__ = ["AnalysisPlan", "RunReport", "ScenarioRun", "run_scenario",
-           "run_question"]
+           "run_question", "envelope_integrator_options",
+           "spec_envelope_options", "ENVELOPE_INTEGRATOR_KEYS"]
+
+#: The question options :func:`repro.bounds.uncertain_envelope` accepts
+#: as integrator configuration.  Single source of truth shared by the
+#: envelope backend below and by the conformance harness
+#: (:mod:`repro.testing`), so "how does this scenario integrate its
+#: envelope" has exactly one answer everywhere.
+ENVELOPE_INTEGRATOR_KEYS = ("integrator", "rk4_steps", "rtol", "atol",
+                            "batch")
+
+
+def envelope_integrator_options(opts: Dict[str, object]) -> Dict[str, object]:
+    """Filter a question's options down to envelope integrator kwargs."""
+    return {k: opts[k] for k in ENVELOPE_INTEGRATOR_KEYS if k in opts}
+
+
+def spec_envelope_options(spec: ScenarioSpec) -> Dict[str, object]:
+    """The integrator kwargs a spec's (first) envelope question declares.
+
+    Scenarios whose model needs a specific envelope integrator declare
+    it on their envelope question (e.g. the bike model needs fixed-step
+    RK4 on its sliding boundary); any analysis re-integrating that
+    scenario's envelope — the conformance harness above all — must
+    honour the declaration or the bounds it checks are not the
+    scenario's bounds.  Returns ``{}`` for specs without an envelope
+    question.
+    """
+    for q in spec.questions:
+        if q.kind == "envelope":
+            return envelope_integrator_options(q.opts)
+    return {}
 
 
 # ----------------------------------------------------------------------
@@ -95,10 +126,7 @@ def _run_envelope(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         times = np.linspace(0.0, spec.horizon, int(opts.get("n_times", 9)))
     times = np.asarray(times, dtype=float)
     observables = list(spec.observables) or None
-    kwargs = {}
-    for key in ("integrator", "rk4_steps", "rtol", "atol", "batch"):
-        if key in opts:
-            kwargs[key] = opts[key]
+    kwargs = envelope_integrator_options(opts)
     env = uncertain_envelope(
         model, spec.x0, times,
         resolution=int(opts.get("resolution", 7)),

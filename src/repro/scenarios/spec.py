@@ -13,6 +13,7 @@ loops can declare one base scenario and sweep variants of it.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Sequence, Tuple
@@ -164,6 +165,15 @@ class ScenarioSpec:
     tags:
         Free-form labels (``"paper"``, ``"extension"``, ``"fig1"`` ...)
         used by ``list --tag``.
+    validity:
+        Optional mapping ``kwarg -> (low, high)`` declaring the range
+        over which a *scalar* factory kwarg may be perturbed while the
+        model stays well-defined.  This is test metadata consumed by
+        the conformance harness (:mod:`repro.testing`), which draws
+        perturbed variants inside the declared ranges; it is excluded
+        from :meth:`payload` so declaring it never invalidates cached
+        results.  Keys are validated against the factory signature like
+        ``model_kwargs``.
     """
 
     name: str
@@ -176,6 +186,7 @@ class ScenarioSpec:
     observables: Tuple[str, ...] = ()
     description: str = ""
     tags: Tuple[str, ...] = ()
+    validity: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self):
         if not self.name:
@@ -203,6 +214,75 @@ class ScenarioSpec:
             self, "observables", tuple(str(o) for o in self.observables)
         )
         object.__setattr__(self, "tags", tuple(str(t) for t in self.tags))
+        object.__setattr__(self, "validity", _freeze(self.validity))
+        self._validate_factory_kwargs()
+        self._validate_validity()
+
+    def _validate_factory_kwargs(self):
+        """Reject kwargs the factory does not accept, at construction.
+
+        A typo'd kwarg (``theta_maxx=...``) used to surface only when a
+        question first *ran* the factory — possibly minutes into a
+        sweep, or never in CI if the spec was only listed.  Specs are
+        built at registration (import) time, so checking the signature
+        here turns the typo into an immediate, attributable failure.
+        Factories whose signature cannot be introspected, or that take
+        ``**kwargs``, accept anything.
+        """
+        try:
+            signature = inspect.signature(self.model_factory)
+        except (TypeError, ValueError):
+            return
+        params = list(signature.parameters.values())
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+            return
+        accepted = {
+            p.name for p in params
+            if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                          inspect.Parameter.KEYWORD_ONLY)
+        }
+        unknown = sorted(set(self.kwargs) - accepted)
+        if unknown:
+            raise TypeError(
+                f"scenario {self.name!r}: model factory {self.factory_ref} "
+                f"does not accept keyword argument(s) {unknown}; accepted "
+                f"keywords: {sorted(accepted)}"
+            )
+
+    def _validate_validity(self):
+        """Check declared validity ranges: known kwargs, ordered bounds."""
+        try:
+            signature = inspect.signature(self.model_factory)
+            params = list(signature.parameters.values())
+            accepted = None
+            if not any(p.kind is inspect.Parameter.VAR_KEYWORD
+                       for p in params):
+                accepted = {
+                    p.name for p in params
+                    if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                                  inspect.Parameter.KEYWORD_ONLY)
+                }
+        except (TypeError, ValueError):
+            accepted = None
+        for key, bounds in self.validity_ranges.items():
+            if accepted is not None and key not in accepted:
+                raise TypeError(
+                    f"scenario {self.name!r}: validity range declared for "
+                    f"{key!r}, which is not a keyword of {self.factory_ref}"
+                )
+            try:
+                low, high = (float(bounds[0]), float(bounds[1]))
+            except (TypeError, ValueError, IndexError):
+                raise ValueError(
+                    f"scenario {self.name!r}: validity range for {key!r} "
+                    f"must be a (low, high) pair, got {bounds!r}"
+                ) from None
+            if not (np.isfinite(low) and np.isfinite(high)) or low > high:
+                raise ValueError(
+                    f"scenario {self.name!r}: validity range for {key!r} "
+                    f"must satisfy low <= high with finite bounds, got "
+                    f"({low}, {high})"
+                )
 
     # ------------------------------------------------------------------
     # Model access
@@ -218,6 +298,11 @@ class ScenarioSpec:
         """The factory keyword arguments as a plain dict."""
         return {k: _thaw(v) for k, v in self.model_kwargs}
 
+    @property
+    def validity_ranges(self) -> Dict[str, object]:
+        """Declared kwarg perturbation ranges as a plain dict."""
+        return {k: _thaw(v) for k, v in self.validity}
+
     def build_model(self):
         """Instantiate the population model this scenario declares."""
         return self.model_factory(**self.kwargs)
@@ -231,7 +316,9 @@ class ScenarioSpec:
 
         The *name* is deliberately excluded: two differently-named specs
         declaring the same computation share a cache entry, and renaming
-        a scenario does not invalidate its artifacts.
+        a scenario does not invalidate its artifacts.  ``validity`` is
+        excluded too — it is conformance-test metadata, not part of the
+        computation, so declaring ranges never invalidates caches.
         """
         return {
             "factory": self.factory_ref,
@@ -281,8 +368,14 @@ class ScenarioSpec:
             f"  observables: {', '.join(self.observables) or '(all declared)'}",
             f"  tags:        {', '.join(self.tags) or '(none)'}",
             f"  spec hash:   {self.spec_hash()}",
-            "  questions:",
         ]
+        if self.validity:
+            ranges = ", ".join(
+                f"{k} in [{v[0]:g}, {v[1]:g}]"
+                for k, v in self.validity_ranges.items()
+            )
+            lines.append(f"  validity:    {ranges}")
+        lines.append("  questions:")
         for q in self.questions:
             opts = f" {q.opts}" if q.opts else ""
             label = f" [{q.label}]" if q.label else ""

@@ -1,0 +1,63 @@
+"""Hypothesis strategies for the conformance harness.
+
+Everything in :mod:`repro.testing.conformance` is parameterized by
+*unit fractions* — points in ``[0, 1]^k`` mapped onto the admissible
+state box, the parameter set, or a spec's declared validity ranges —
+precisely so that property-based drivers stay trivial: hypothesis
+draws fractions, the harness owns the (model-specific) geometry.
+
+This module is the only place :mod:`repro.testing` touches hypothesis,
+and the import is gated so the core harness stays usable (benchmarks,
+CI scripts) in environments without it.
+"""
+
+from __future__ import annotations
+
+try:
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    st = None
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["HAVE_HYPOTHESIS", "unit_fracs", "validity_fracs"]
+
+HAVE_HYPOTHESIS = st is not None
+
+
+def _require_hypothesis():
+    if st is None:
+        raise ImportError(
+            "repro.testing.strategies requires hypothesis; install it or "
+            "use ScenarioConformance's seeded defaults instead"
+        )
+
+
+def unit_fracs(rows: int, cols: int):
+    """Strategy for a ``(rows, cols)`` stack of unit fractions.
+
+    Feed the result to ``ScenarioConformance.states_from_fracs`` /
+    ``thetas_from_fracs`` (or the ``*_fracs`` keyword of
+    ``check_batch_consistency``).
+    """
+    _require_hypothesis()
+    frac = st.floats(min_value=0.0, max_value=1.0,
+                     allow_nan=False, allow_infinity=False)
+    return st.lists(
+        st.lists(frac, min_size=cols, max_size=cols),
+        min_size=rows, max_size=rows,
+    )
+
+
+def validity_fracs(spec: ScenarioSpec):
+    """Strategy for ``check_perturbation`` fractions: one unit fraction
+    per validity-declared factory kwarg of ``spec``."""
+    _require_hypothesis()
+    keys = sorted(spec.validity_ranges)
+    if not keys:
+        raise ValueError(
+            f"scenario {spec.name!r} declares no validity ranges"
+        )
+    frac = st.floats(min_value=0.0, max_value=1.0,
+                     allow_nan=False, allow_infinity=False)
+    return st.fixed_dictionaries({key: frac for key in keys})

@@ -1,7 +1,40 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, and the hypothesis profiles.
+
+Two registered profiles:
+
+- ``dev`` (default): hypothesis as shipped, but without the wall-clock
+  deadline — bound computations have data-dependent runtimes that make
+  per-example deadlines flaky on loaded machines.
+- ``ci``: additionally derandomized, so a CI failure is reproducible
+  from the log alone and reruns are deterministic.
+
+Select with ``HYPOTHESIS_PROFILE=ci`` (the workflow does); locally the
+``dev`` profile keeps random exploration on.
+"""
+
+import os
 
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "dev",
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "ci",
+        deadline=None,
+        derandomize=True,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
 
 from repro.models import (
     make_bike_station_model,

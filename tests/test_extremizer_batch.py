@@ -20,8 +20,10 @@ from repro.bounds import (
 )
 from repro.inclusion import DriftExtremizer, ParametricInclusion
 from repro.models import (
+    make_autoscaler_model,
     make_bike_station_model,
     make_cdn_cache_model,
+    make_csma_model,
     make_gossip_model,
     make_gps_map_model,
     make_gps_poisson_model,
@@ -30,6 +32,7 @@ from repro.models import (
     make_seir_model,
     make_sir_full_model,
     make_sir_model,
+    make_ttl_cache_model,
 )
 from repro.params import DiscreteSet, Interval
 from repro.population import PopulationModel, Transition
@@ -45,6 +48,9 @@ CATALOG_FACTORIES = [
     make_power_of_d_model,
     make_gps_poisson_model,
     make_gps_map_model,
+    make_autoscaler_model,
+    make_ttl_cache_model,
+    make_csma_model,
 ]
 
 STRATEGIES = ("affine", "corners", "grid")

@@ -50,7 +50,9 @@ class TestCatalog:
 
     def test_new_models_are_catalogued(self):
         names = {s.name for s in list_scenarios()}
-        assert {"gossip-spread", "repairable-queue", "cdn-cache"} <= names
+        assert {"gossip-spread", "repairable-queue", "cdn-cache",
+                "autoscaler", "ttl-cache-fleet",
+                "csma-contention"} <= names
 
     def test_unknown_scenario_lists_known_names(self):
         with pytest.raises(KeyError, match="sir-transient"):
@@ -131,13 +133,28 @@ class TestSpec:
         q = Question("envelope", options={"nested": {"rtol": 1e-6,
                                                      "grid": [1, 2]}})
         assert q.opts == {"nested": {"rtol": 1e-6, "grid": [1, 2]}}
+
+        # A **kwargs factory: signature validation passes anything
+        # through, so arbitrary nested structures round-trip the freeze.
+        def var_kwargs_factory(**kwargs):
+            return make_sir_model()
+
         spec = ScenarioSpec(
-            name="x", title="t", model_factory=make_sir_model,
+            name="x", title="t", model_factory=var_kwargs_factory,
             x0=(0.7, 0.3), horizon=1.0,
             model_kwargs={"table": {"a": [1.0, 2.0], "b": {"c": 3}}},
             questions=(Question("hull"),),
         )
         assert spec.kwargs == {"table": {"a": [1.0, 2.0], "b": {"c": 3}}}
+
+    def test_typo_kwarg_rejected_at_construction(self):
+        with pytest.raises(TypeError, match="theta_mxa"):
+            ScenarioSpec(
+                name="x", title="t", model_factory=make_sir_model,
+                x0=(0.7, 0.3), horizon=1.0,
+                model_kwargs={"theta_mxa": 5.0},
+                questions=(Question("hull"),),
+            )
 
 
 class TestRunScenario:

@@ -4,101 +4,22 @@ For every registered scenario's model the three transient bound families
 must nest (soundness of each method, Section IV of the paper):
 
     uncertain envelope  ⊆  template box (exact imprecise bounds)
-                        ⊆  differential hull,
+                        ⊆  differential hull.
 
-checked per state coordinate at a sampled horizon on deliberately coarse
-grids — this is a structural ordering, not an accuracy test, so it must
-hold for *every* model anyone registers, including the extension
-catalog (gossip, repairable queue, CDN cache).
-
-Tolerances: the template box is computed by fixed-step Pontryagin
-sweeps, so its bounds carry O(dt) discretisation error and can sit
-slightly *inside* the true reachable extremes; the envelope solves the
-same ODEs adaptively.  A small absolute slack absorbs that without
-masking real ordering violations (which show up at the 1e-1 scale when
-a sign or side is wrong).
+The check itself — grids, tolerances and their rationale — lives in
+:meth:`repro.testing.ScenarioConformance.check_ordering`; this file is
+only the pytest parametrization over the registry, so any newly
+registered scenario inherits the invariant with zero test code.
 """
 
-import numpy as np
 import pytest
 
-from repro.bounds import (
-    box_directions,
-    differential_hull_bounds,
-    template_reachable_bounds,
-    uncertain_envelope,
+from repro.testing import ScenarioConformance, unique_model_cases
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [pytest.param(s, id=s.name) for s in unique_model_cases()],
 )
-from repro.scenarios import list_scenarios
-
-#: Slack for envelope-vs-template (Pontryagin time discretisation).
-TEMPLATE_TOL = 5e-3
-#: Slack for template-vs-hull (both sound; hull integrates adaptively).
-HULL_TOL = 1e-6
-
-
-def _unique_model_cases():
-    """One case per distinct (factory, kwargs, x0) in the catalog."""
-    seen = {}
-    for spec in list_scenarios():
-        key = (spec.factory_ref, str(sorted(spec.kwargs.items())), spec.x0)
-        if key not in seen:
-            seen[key] = spec
-    return [pytest.param(spec, id=spec.name) for spec in seen.values()]
-
-
-def _envelope_integrator_opts(spec):
-    """Honour a scenario's declared envelope integrator (e.g. the bike
-    model needs fixed-step RK4 on its sliding boundary)."""
-    for q in spec.questions:
-        if q.kind == "envelope":
-            opts = q.opts
-            return {k: opts[k] for k in ("integrator", "rk4_steps")
-                    if k in opts}
-    return {}
-
-
-@pytest.mark.parametrize("spec", _unique_model_cases())
 def test_envelope_inside_template_inside_hull(spec):
-    model = spec.build_model()
-    horizon = min(spec.horizon, 1.0)
-    x0 = np.asarray(spec.x0)
-
-    coords = [(f"x{i}", np.eye(model.dim)[i]) for i in range(model.dim)]
-    env = uncertain_envelope(
-        model, x0, np.array([0.0, horizon]), resolution=3,
-        observables=coords, **_envelope_integrator_opts(spec),
-    )
-    polytope = template_reachable_bounds(
-        model, x0, horizon, directions=box_directions(model.dim),
-        n_steps=60, max_iter=60,
-    )
-    box_lower, box_upper = polytope.bounding_box()
-    hull = differential_hull_bounds(
-        model, x0, np.array([0.0, 0.5 * horizon, horizon])
-    )
-
-    for i in range(model.dim):
-        env_lo = env.lower[f"x{i}"][-1]
-        env_hi = env.upper[f"x{i}"][-1]
-        # Constant parameters are admissible signals: the envelope sits
-        # inside the exact imprecise (template) bounds.
-        assert box_lower[i] <= env_lo + TEMPLATE_TOL, (
-            f"{spec.name}: coord {i} envelope lower {env_lo:.6g} escapes "
-            f"template lower {box_lower[i]:.6g}"
-        )
-        assert env_hi <= box_upper[i] + TEMPLATE_TOL, (
-            f"{spec.name}: coord {i} envelope upper {env_hi:.6g} escapes "
-            f"template upper {box_upper[i]:.6g}"
-        )
-        # The hull over-approximates the exact reachable box.
-        assert hull.lower[-1, i] <= box_lower[i] + HULL_TOL, (
-            f"{spec.name}: coord {i} template lower {box_lower[i]:.6g} "
-            f"escapes hull lower {hull.lower[-1, i]:.6g}"
-        )
-        assert box_upper[i] <= hull.upper[-1, i] + HULL_TOL, (
-            f"{spec.name}: coord {i} template upper {box_upper[i]:.6g} "
-            f"escapes hull upper {hull.upper[-1, i]:.6g}"
-        )
-        # And the bounds themselves are ordered.
-        assert env_lo <= env_hi + 1e-12
-        assert box_lower[i] <= box_upper[i] + TEMPLATE_TOL
+    ScenarioConformance(spec).check_ordering()
