@@ -20,6 +20,7 @@ import pathlib
 import tempfile
 import time
 
+from repro import telemetry
 from repro.reporting import ExperimentResult
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
@@ -52,8 +53,17 @@ def record_timing(experiment_id: str, seconds: float, **extra) -> None:
     The summary is a plain ``{experiment_id: {seconds, recorded_unix,
     ...extra}}`` JSON object; existing entries for other experiments are
     preserved, the entry for this one is replaced.
+
+    When telemetry is enabled at record time, the current counter
+    snapshot is embedded as the entry's ``"metrics"`` key, so
+    BENCH_*.json entries explain *why* a number moved (steps,
+    rejections, cache tiers) instead of being wall-clock-only.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    if telemetry.enabled() and "metrics" not in extra:
+        counters = telemetry.snapshot()["counters"]
+        if counters:
+            extra["metrics"] = counters
     try:
         summary = json.loads(TIMINGS_PATH.read_text())
         if not isinstance(summary, dict):
@@ -93,11 +103,21 @@ def run_once(benchmark, fn):
     When the experiment returns an :class:`ExperimentResult`, its
     wall-clock time lands in the ``BENCH_scenarios.json`` summary keyed
     by its experiment id — every harnessed figure gets tracked without
-    per-benchmark boilerplate.
+    per-benchmark boilerplate.  The run executes with telemetry enabled
+    (metrics cleared first), so the archived entry carries the
+    experiment's counter snapshot alongside its seconds; the previous
+    enable state is restored afterwards.
     """
-    start = time.perf_counter()
-    result = benchmark.pedantic(fn, rounds=1, iterations=1)
-    seconds = time.perf_counter() - start
-    if isinstance(result, ExperimentResult):
-        record_timing(result.experiment_id, seconds)
+    was_enabled = telemetry.enabled()
+    telemetry.enable()
+    telemetry.reset_metrics()
+    try:
+        start = time.perf_counter()
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        seconds = time.perf_counter() - start
+        if isinstance(result, ExperimentResult):
+            record_timing(result.experiment_id, seconds)
+    finally:
+        if not was_enabled:
+            telemetry.disable()
     return result

@@ -5,9 +5,11 @@ Subcommands:
 - ``list [--tag TAG]`` — one line per registered scenario;
 - ``describe NAME`` — the full declarative spec (model, questions,
   cache key);
-- ``run NAME [--no-cache] [--refresh] [--processes N] [--cache-dir D]``
-  — execute (or recall) every question and print the rendered result
-  plus the run report with its cache-hit counter;
+- ``run NAME [--no-cache] [--refresh] [--processes N] [--cache-dir D]
+  [--trace] [--metrics-out F] [--trace-out F]`` — execute (or recall)
+  every question and print the rendered result plus the run report with
+  its cache-hit counter; the telemetry flags print the span tree, dump
+  the metrics snapshot and export a ``chrome://tracing`` timeline;
 - ``clear-cache [NAME] [--cache-dir D]`` — drop cached artifacts.
 """
 
@@ -64,6 +66,12 @@ def _cmd_run(args) -> int:
         # Unlink by content hash, not by stored name: the lookup is
         # content-addressed, so this is the entry a run would be served.
         cache_path(spec, args.cache_dir).unlink(missing_ok=True)
+    observing = args.trace or args.metrics_out or args.trace_out
+    if observing:
+        from repro import telemetry
+
+        telemetry.enable()
+        telemetry.clear()
     run = run_scenario(
         spec,
         use_cache=not args.no_cache,
@@ -73,6 +81,19 @@ def _cmd_run(args) -> int:
     print(run.result.render())
     print()
     print(run.report.render())
+    if observing:
+        if args.trace:
+            print()
+            print("trace:")
+            print(telemetry.render_trace())
+        if args.metrics_out:
+            path = telemetry.save_snapshot(args.metrics_out,
+                                           telemetry.snapshot())
+            print(f"metrics snapshot written to {path}")
+        if args.trace_out:
+            path = telemetry.save_chrome_trace(args.trace_out)
+            print(f"chrome trace written to {path} "
+                  "(load via chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -123,6 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--cache-dir", default=None,
                        help="cache directory (default $REPRO_CACHE_DIR "
                             "or ~/.cache/repro-scenarios)")
+    p_run.add_argument("--trace", action="store_true",
+                       help="enable telemetry and print the span tree")
+    p_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="enable telemetry and write the metrics "
+                            "snapshot (counters/gauges/histograms) as "
+                            "JSON")
+    p_run.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="enable telemetry and write a Chrome-trace "
+                            "JSON timeline (chrome://tracing)")
     p_run.set_defaults(fn=_cmd_run)
 
     p_clear = sub.add_parser("clear-cache", help="drop cached artifacts")

@@ -39,6 +39,7 @@ import numpy as np
 from scipy.integrate import solve_ivp
 from scipy.optimize import minimize
 
+from repro import telemetry
 from repro.inclusion import DriftExtremizer
 
 __all__ = ["HullBounds", "differential_hull_bounds", "hull_vector_field"]
@@ -322,15 +323,18 @@ def differential_hull_bounds(
     blowup_event.terminal = True
     blowup_event.direction = -1.0
 
-    sol = solve_ivp(
-        hull_field,
-        (float(t_eval[0]), float(t_eval[-1])),
-        z0,
-        t_eval=t_eval,
-        rtol=rtol,
-        atol=atol,
-        events=blowup_event,
-    )
+    with telemetry.span("hull.integrate", batch=batch) as sp:
+        sol = solve_ivp(
+            hull_field,
+            (float(t_eval[0]), float(t_eval[-1])),
+            z0,
+            t_eval=t_eval,
+            rtol=rtol,
+            atol=atol,
+            events=blowup_event,
+        )
+        sp.set("nfev", int(sol.nfev))
+    telemetry.inc("hull.rhs_evals", int(sol.nfev))
     if not sol.success and sol.status != 1:
         raise RuntimeError(f"hull integration failed: {sol.message}")
     n_done = sol.t.shape[0]

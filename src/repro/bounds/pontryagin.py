@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.inclusion import DriftExtremizer
 from repro.ode import (
     Trajectory,
@@ -217,6 +218,7 @@ def extremal_trajectory(
     relaxation = 1.0
 
     for iterations in range(1, max_iter + 1):
+        telemetry.inc("pontryagin.iterations")
         # (7) forward state sweep under the current control.
         x_traj = rk4_integrate_controlled(dynamics, x0, grid, controls)
         value = float(c @ x_traj.final_state)
@@ -251,8 +253,12 @@ def extremal_trajectory(
                 best = (value, x_traj.states.copy(), costate_states.copy(),
                         controls.copy())
             break
+        if value_prev is not None:
+            telemetry.observe("pontryagin.value_residual",
+                              abs(value - value_prev))
         if value_prev is not None and value < value_prev - value_tol:
             relaxation = max(0.5 * relaxation, 0.05)
+            telemetry.inc("pontryagin.relaxation_events")
         if value_prev is not None and abs(value - value_prev) <= value_tol * max(
             1.0, abs(value)
         ):
@@ -354,6 +360,26 @@ def extremal_trajectories_batch(
     chatter_intervals: int = 2,
     extremizer: Optional[DriftExtremizer] = None,
 ) -> List[PontryaginResult]:
+    with telemetry.span("pontryagin.sweep", lanes=len(specs)):
+        return _extremal_trajectories_batch_impl(
+            model, x0, specs,
+            max_iter=max_iter, tol=tol, value_tol=value_tol,
+            value_patience=value_patience,
+            chatter_intervals=chatter_intervals, extremizer=extremizer,
+        )
+
+
+def _extremal_trajectories_batch_impl(
+    model,
+    x0,
+    specs: Sequence,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+    value_tol: float = 1e-6,
+    value_patience: int = 3,
+    chatter_intervals: int = 2,
+    extremizer: Optional[DriftExtremizer] = None,
+) -> List[PontryaginResult]:
     """Run many forward–backward sweeps as one lane-parallel batch.
 
     Each spec is a ``(direction, maximize, horizon, n_steps)`` tuple
@@ -441,6 +467,7 @@ def extremal_trajectories_batch(
             break
         iterations[active] = it
         a = active
+        telemetry.inc("pontryagin.iterations", int(a.size))
         # (7) forward state sweep under the current controls.
         fwd = rk4_integrate_controlled_batch(
             dynamics, x0_stack[a], T[a], controls[a], lane_steps=steps[a]
@@ -501,6 +528,14 @@ def extremal_trajectories_batch(
             relaxation[ac[regressed]] = np.maximum(
                 0.5 * relaxation[ac[regressed]], 0.05
             )
+            if telemetry.enabled():
+                n_regressed = int(np.count_nonzero(regressed))
+                if n_regressed:
+                    telemetry.inc("pontryagin.relaxation_events", n_regressed)
+                telemetry.observe_many(
+                    "pontryagin.value_residual",
+                    np.abs(v - value_prev[ac])[has_prev[ac]],
+                )
             settled = has_prev[ac] & (
                 np.abs(v - value_prev[ac])
                 <= value_tol * np.maximum(1.0, np.abs(v))
@@ -554,6 +589,9 @@ def extremal_trajectories_batch(
             )
         )
     return results
+
+
+extremal_trajectories_batch.__doc__ = _extremal_trajectories_batch_impl.__doc__
 
 
 @dataclass
@@ -615,6 +653,33 @@ def _resample_controls(old_grid: np.ndarray, old_controls: np.ndarray,
 
 
 def pontryagin_transient_bounds(
+    model,
+    x0,
+    horizons,
+    observables: Optional[Sequence] = None,
+    steps_per_unit: float = 100.0,
+    min_steps: int = 60,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+    extremizer: Optional[DriftExtremizer] = None,
+    keep_results: bool = False,
+    sides: Sequence[str] = ("lower", "upper"),
+    batch: bool = True,
+    lanes: Optional[bool] = None,
+) -> TransientBounds:
+    with telemetry.span("pontryagin.bounds",
+                        horizons=np.asarray(horizons).size,
+                        lanes=batch if lanes is None else lanes):
+        return _pontryagin_transient_bounds_impl(
+            model, x0, horizons, observables=observables,
+            steps_per_unit=steps_per_unit, min_steps=min_steps,
+            max_iter=max_iter, tol=tol, extremizer=extremizer,
+            keep_results=keep_results, sides=sides, batch=batch,
+            lanes=lanes,
+        )
+
+
+def _pontryagin_transient_bounds_impl(
     model,
     x0,
     horizons,
@@ -732,6 +797,9 @@ def pontryagin_transient_bounds(
                     store = bounds.upper_results if is_max else bounds.lower_results
                     store[name].append(result)
     return bounds
+
+
+pontryagin_transient_bounds.__doc__ = _pontryagin_transient_bounds_impl.__doc__
 
 
 def switching_times(result: PontryaginResult, param_index: int = 0,

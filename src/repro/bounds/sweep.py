@@ -22,6 +22,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.ode import dopri_batch, rk4_integrate, rk4_step, solve_ode
 
 __all__ = ["UncertainEnvelope", "uncertain_envelope"]
@@ -119,6 +120,30 @@ def _rk4_sweep_batch(model, x0, rk4_grid, thetas) -> np.ndarray:
 
 
 def uncertain_envelope(
+    model,
+    x0,
+    t_eval,
+    resolution: int = 15,
+    observables: Optional[Sequence] = None,
+    rtol: float = 1e-8,
+    atol: float = 1e-10,
+    integrator: str = "adaptive",
+    rk4_steps: int = 400,
+    batch: bool = True,
+) -> UncertainEnvelope:
+    with telemetry.span("envelope.sweep", integrator=integrator,
+                        resolution=resolution, batch=batch) as sp:
+        env = _uncertain_envelope_impl(
+            model, x0, t_eval, resolution=resolution,
+            observables=observables, rtol=rtol, atol=atol,
+            integrator=integrator, rk4_steps=rk4_steps, batch=batch,
+        )
+        sp.set("thetas", env.thetas.shape[0])
+    telemetry.inc("envelope.theta_solves", env.thetas.shape[0])
+    return env
+
+
+def _uncertain_envelope_impl(
     model,
     x0,
     t_eval,
@@ -244,3 +269,6 @@ def uncertain_envelope(
         result.argmin_theta[name] = thetas[k_min]
         result.argmax_theta[name] = thetas[k_max]
     return result
+
+
+uncertain_envelope.__doc__ = _uncertain_envelope_impl.__doc__

@@ -45,6 +45,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = ["IntervalDTMC", "random_interval_dtmc"]
 
 #: A returned row whose total deviates from 1 by more than this is
@@ -159,6 +161,9 @@ class IntervalDTMC:
         if rewards.shape[1] != n:
             raise ValueError(f"rewards must have trailing dimension {n}")
         m = rewards.shape[0]
+        if telemetry.enabled():
+            telemetry.inc("ctmc.credal.operator_calls")
+            telemetry.inc("ctmc.credal.knapsack_rows", m * n)
         order = np.argsort(-rewards if maximize else rewards, axis=1)
         room = self.upper - self.lower                       # (n, n), >= 0
         slack0 = 1.0 - self.lower.sum(axis=1)                # (n,)

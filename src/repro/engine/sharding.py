@@ -19,14 +19,38 @@ from __future__ import annotations
 
 import multiprocessing
 import operator
+import pickle
+import time
 from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.engine.vectorized import simulate_ensemble
 from repro.simulation.batch import BatchResult
 
 __all__ = ["map_shards", "sweep_constant_ensembles"]
+
+
+class _TimedCall:
+    """Picklable wrapper returning ``(seconds, fn(payload))``.
+
+    The telemetry registry is process-local, so counters a worker bumps
+    never reach the parent; wall time measured *inside* the worker and
+    shipped back with the result is the one per-shard signal that
+    survives the pool boundary.  ``fn`` must be a module-level callable
+    (which :func:`map_shards` already requires for pool use).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, payload):
+        start = time.perf_counter()
+        result = self.fn(payload)
+        return time.perf_counter() - start, result
 
 
 def map_shards(fn: Callable, payloads: Sequence,
@@ -41,12 +65,43 @@ def map_shards(fn: Callable, payloads: Sequence,
     worker-count invariance is tested once for all of them: ``fn`` must
     be deterministic per payload (any randomness derived from a seed
     carried *inside* the payload).
+
+    With telemetry enabled, per-shard wall time and pickled payload
+    size land on the registry as the ``engine.shard.seconds`` /
+    ``engine.shard.payload_bytes`` histograms.
     """
     payloads = list(payloads)
-    if processes is None or processes <= 1 or len(payloads) <= 1:
-        return [fn(p) for p in payloads]
-    with multiprocessing.Pool(processes=min(processes, len(payloads))) as pool:
-        return pool.map(fn, payloads)
+    serial = processes is None or processes <= 1 or len(payloads) <= 1
+    if not telemetry.enabled():
+        if serial:
+            return [fn(p) for p in payloads]
+        with multiprocessing.Pool(
+            processes=min(processes, len(payloads))
+        ) as pool:
+            return pool.map(fn, payloads)
+
+    with telemetry.span("engine.map_shards", shards=len(payloads),
+                        processes=1 if serial else processes):
+        for p in payloads:
+            try:
+                size = len(pickle.dumps(p))
+            except Exception:
+                # The serial path never required picklable payloads;
+                # observability must not start requiring it either.
+                break
+            telemetry.observe("engine.shard.payload_bytes", size)
+        timed = _TimedCall(fn)
+        if serial:
+            pairs = [timed(p) for p in payloads]
+        else:
+            with multiprocessing.Pool(
+                processes=min(processes, len(payloads))
+            ) as pool:
+                pairs = pool.map(timed, payloads)
+        telemetry.inc("engine.shard.calls", len(pairs))
+        telemetry.observe_many("engine.shard.seconds",
+                               [seconds for seconds, _ in pairs])
+        return [result for _, result in pairs]
 
 
 def _run_shard(payload) -> BatchResult:

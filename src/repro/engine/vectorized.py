@@ -46,10 +46,12 @@ final-state clouds).
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.engine.lanes import build_lane
 from repro.population import FinitePopulation
 from repro.simulation.batch import BatchResult, validate_ensemble_args
@@ -58,6 +60,37 @@ __all__ = ["simulate_ensemble"]
 
 
 def simulate_ensemble(
+    population: FinitePopulation,
+    policy_factory: Callable,
+    t_final: float,
+    n_runs: int,
+    seed: Union[int, np.random.SeedSequence] = 0,
+    rng: Optional[np.random.Generator] = None,
+    n_samples: int = 200,
+    t_start: float = 0.0,
+    max_events: int = 50_000_000,
+) -> BatchResult:
+    with telemetry.span("engine.ensemble", runs=n_runs) as sp:
+        t0 = time.perf_counter()
+        batch = _simulate_ensemble_impl(
+            population, policy_factory, t_final, n_runs,
+            seed=seed, rng=rng, n_samples=n_samples, t_start=t_start,
+            max_events=max_events,
+        )
+        if telemetry.enabled():
+            elapsed = time.perf_counter() - t0
+            events = batch.n_events + batch.n_policy_jumps
+            telemetry.inc("engine.ssa.runs", batch.states.shape[0])
+            telemetry.inc("engine.ssa.events", batch.n_events)
+            telemetry.inc("engine.ssa.policy_jumps", batch.n_policy_jumps)
+            if elapsed > 0.0:
+                telemetry.set_gauge("engine.ssa.events_per_sec",
+                                    events / elapsed)
+            sp.set("events", events)
+    return batch
+
+
+def _simulate_ensemble_impl(
     population: FinitePopulation,
     policy_factory: Callable,
     t_final: float,
@@ -119,9 +152,15 @@ def simulate_ensemble(
     n_events = np.zeros(n_runs, dtype=np.int64)
     n_policy_jumps = np.zeros(n_runs, dtype=np.int64)
 
+    # Hoisted once: None when telemetry is disabled, so the loop body
+    # pays a single identity check per iteration.
+    chunk_hist = telemetry.live_histogram("engine.ssa.chunk_rows")
+
     active = np.arange(n_runs)
     while active.size:
         rows = active
+        if chunk_hist is not None:
+            chunk_hist.observe(rows.shape[0])
         if np.any(n_events[rows] + n_policy_jumps[rows] >= max_events):
             worst = rows[
                 np.argmax(n_events[rows] + n_policy_jumps[rows])
@@ -203,3 +242,6 @@ def simulate_ensemble(
         n_events=int(n_events.sum()),
         n_policy_jumps=int(n_policy_jumps.sum()),
     )
+
+
+simulate_ensemble.__doc__ = _simulate_ensemble_impl.__doc__

@@ -39,6 +39,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 from scipy.optimize import fsolve
 
+from repro import telemetry
 from repro.ode.integrators import _SETTLE_ACCEPT_RESIDUAL, Trajectory
 
 __all__ = [
@@ -221,8 +222,8 @@ def _prepare_batch_grid(x0, t_grid, lane_steps):
     return x0, t_grid, shared, lane_steps, n_points
 
 
-def rk4_integrate_batch(f: Callable, x0, t_grid,
-                        lane_steps=None) -> TrajectoryBatch:
+def _rk4_integrate_batch_impl(f: Callable, x0, t_grid,
+                              lane_steps=None) -> TrajectoryBatch:
     """Lockstep fixed-grid RK4 over a stack of IVPs.
 
     Parameters
@@ -281,8 +282,8 @@ def rk4_integrate_batch(f: Callable, x0, t_grid,
     return TrajectoryBatch(times=times, states=states, lane_steps=lane_steps)
 
 
-def rk4_integrate_controlled_batch(f: Callable, x0, t_grid, controls,
-                                   lane_steps=None) -> TrajectoryBatch:
+def _rk4_integrate_controlled_batch_impl(f: Callable, x0, t_grid, controls,
+                                         lane_steps=None) -> TrajectoryBatch:
     """Lockstep controlled RK4: ``x' = f(t, x, u)`` per lane.
 
     ``controls`` holds one control row per lane per grid *interval*,
@@ -335,6 +336,44 @@ def rk4_integrate_controlled_batch(f: Callable, x0, t_grid, controls,
         states[:, i + 1] = x
     times = np.broadcast_to(t_grid, (L, n_points)).copy() if shared else t_grid.copy()
     return TrajectoryBatch(times=times, states=states, lane_steps=lane_steps)
+
+
+def _record_lockstep(kind: str, batch: TrajectoryBatch) -> TrajectoryBatch:
+    """Promote a lockstep kernel's work onto the telemetry registry."""
+    if telemetry.enabled():
+        n_points = batch.times.shape[1]
+        telemetry.inc(f"ode.{kind}.lanes", batch.n_lanes)
+        telemetry.inc(f"ode.{kind}.steps", int(batch.lane_steps.sum()))
+        # Lockstep kernels evaluate all four stages on the full stack
+        # every grid interval, retired lanes included.
+        telemetry.inc(f"ode.{kind}.rhs_evals", 4 * (n_points - 1))
+        retired = int(np.count_nonzero(batch.lane_steps < n_points - 1))
+        if retired:
+            telemetry.inc(f"ode.{kind}.lane_retirements", retired)
+    return batch
+
+
+def rk4_integrate_batch(f: Callable, x0, t_grid,
+                        lane_steps=None) -> TrajectoryBatch:
+    with telemetry.span("ode.rk4_batch"):
+        batch = _rk4_integrate_batch_impl(f, x0, t_grid, lane_steps)
+    return _record_lockstep("rk4", batch)
+
+
+rk4_integrate_batch.__doc__ = _rk4_integrate_batch_impl.__doc__
+
+
+def rk4_integrate_controlled_batch(f: Callable, x0, t_grid, controls,
+                                   lane_steps=None) -> TrajectoryBatch:
+    with telemetry.span("ode.rk4_controlled_batch"):
+        batch = _rk4_integrate_controlled_batch_impl(
+            f, x0, t_grid, controls, lane_steps
+        )
+    return _record_lockstep("rk4", batch)
+
+
+rk4_integrate_controlled_batch.__doc__ = \
+    _rk4_integrate_controlled_batch_impl.__doc__
 
 
 # ----------------------------------------------------------------------
@@ -424,7 +463,7 @@ def _hermite_fill(out, lane_ids, i0, i1, s_eval, s_old, s_new, y_old, y_new,
     )
 
 
-def dopri_batch(
+def _dopri_batch_impl(
     f: Callable,
     x0,
     t_span,
@@ -657,6 +696,50 @@ def dopri_batch(
             "final_states": final_y,
         },
     )
+
+
+def dopri_batch(
+    f: Callable,
+    x0,
+    t_span,
+    t_eval=None,
+    rtol: float = 1e-8,
+    atol: float = 1e-10,
+    max_step: float = np.inf,
+    max_steps: int = 1_000_000,
+    safety: float = 0.9,
+    min_factor: float = 0.2,
+    max_factor: float = 10.0,
+    lane_args=None,
+) -> TrajectoryBatch:
+    with telemetry.span("ode.dopri_batch") as sp:
+        batch = _dopri_batch_impl(
+            f, x0, t_span, t_eval,
+            rtol=rtol, atol=atol, max_step=max_step, max_steps=max_steps,
+            safety=safety, min_factor=min_factor, max_factor=max_factor,
+            lane_args=lane_args,
+        )
+        sp.set("lanes", batch.n_lanes)
+    if telemetry.enabled():
+        stats = batch.stats
+        telemetry.inc("ode.dopri.lanes", batch.n_lanes)
+        telemetry.inc("ode.dopri.rhs_evals", stats["nfev"])
+        telemetry.inc("ode.dopri.steps_accepted",
+                      int(np.sum(stats["n_accepted"])))
+        telemetry.inc("ode.dopri.steps_rejected",
+                      int(np.sum(stats["n_rejected"])))
+        # Lanes that reached their end time while others were still
+        # stepping (heterogeneous horizons / stiffness): the retirement
+        # machinery actually saved work on these.
+        accepted = np.asarray(stats["n_accepted"])
+        if accepted.size:
+            retired = int(np.count_nonzero(accepted < accepted.max()))
+            if retired:
+                telemetry.inc("ode.dopri.lane_retirements", retired)
+    return batch
+
+
+dopri_batch.__doc__ = _dopri_batch_impl.__doc__
 
 
 # ----------------------------------------------------------------------

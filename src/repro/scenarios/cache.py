@@ -22,17 +22,32 @@ import os
 import pathlib
 import re
 import tempfile
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 import repro
+from repro import telemetry
 from repro.reporting import ExperimentResult
 from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["cache_dir", "cache_path", "load_cached", "store_result",
-           "clear_cache", "CACHE_SCHEMA_VERSION"]
+__all__ = ["cache_dir", "cache_path", "load_cached", "load_cached_detail",
+           "store_result", "clear_cache", "CACHE_SCHEMA_VERSION",
+           "CACHE_HIT", "MISS_REASONS"]
 
 #: Bump when the cached payload layout (not the spec hash) changes.
 CACHE_SCHEMA_VERSION = 2
+
+#: ``load_cached_detail`` outcome labels.  ``CACHE_HIT`` means a result
+#: was served; every other label is a distinguishable miss reason, each
+#: mirrored onto the telemetry registry as
+#: ``scenarios.cache.miss.<reason>``.
+CACHE_HIT = "hit"
+MISS_ABSENT = "absent"
+MISS_CORRUPT = "corrupt"
+MISS_SCHEMA = "schema"
+MISS_LIBRARY = "library-version"
+MISS_PAYLOAD = "payload-mismatch"
+MISS_REASONS = (MISS_ABSENT, MISS_CORRUPT, MISS_SCHEMA, MISS_LIBRARY,
+                MISS_PAYLOAD)
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -57,6 +72,57 @@ def cache_path(spec: ScenarioSpec,
     return cache_dir(directory) / f"{spec.spec_hash()}.json"
 
 
+def _classify_entry(spec: ScenarioSpec, path: pathlib.Path,
+                    ) -> Tuple[Optional[ExperimentResult], str]:
+    if not path.exists():
+        return None, MISS_ABSENT
+    try:
+        wrapper = json.loads(path.read_text())
+    except OSError:
+        # Raced deletion between the exists() probe and the read still
+        # means the entry is gone, not broken.
+        return None, MISS_ABSENT if not path.exists() else MISS_CORRUPT
+    except ValueError:
+        return None, MISS_CORRUPT
+    if not isinstance(wrapper, dict):
+        return None, MISS_CORRUPT
+    if wrapper.get("schema") != CACHE_SCHEMA_VERSION:
+        return None, MISS_SCHEMA
+    # Entries computed by a different library version are stale even
+    # when the spec is unchanged — a backend fix must not keep serving
+    # pre-fix numbers out of ~/.cache forever.
+    if wrapper.get("library") != repro.__version__:
+        return None, MISS_LIBRARY
+    # The filename is already the (truncated) spec hash; comparing the
+    # *full* stored payload detects the residual collision case and any
+    # hash-scheme drift across library versions.
+    if wrapper.get("spec_payload") != spec.payload():
+        return None, MISS_PAYLOAD
+    try:
+        return ExperimentResult.from_json(wrapper["result"]), CACHE_HIT
+    except (KeyError, TypeError, ValueError):
+        return None, MISS_CORRUPT
+
+
+def load_cached_detail(spec: ScenarioSpec,
+                       directory: Union[str, pathlib.Path, None] = None,
+                       ) -> Tuple[Optional[ExperimentResult], str]:
+    """Like :func:`load_cached`, but also says *why* a lookup missed.
+
+    Returns ``(result, CACHE_HIT)`` on a hit, else ``(None, reason)``
+    with ``reason`` one of :data:`MISS_REASONS`.  The outcome is also
+    recorded on the telemetry registry (``scenarios.cache.hit`` /
+    ``scenarios.cache.miss.<reason>``) when telemetry is enabled.
+    """
+    result, reason = _classify_entry(spec, cache_path(spec, directory))
+    if reason == CACHE_HIT:
+        telemetry.inc("scenarios.cache.hit")
+    else:
+        telemetry.inc("scenarios.cache.miss")
+        telemetry.inc(f"scenarios.cache.miss.{reason}")
+    return result, reason
+
+
 def load_cached(spec: ScenarioSpec,
                 directory: Union[str, pathlib.Path, None] = None,
                 ) -> Optional[ExperimentResult]:
@@ -64,31 +130,9 @@ def load_cached(spec: ScenarioSpec,
 
     Corrupt or schema-incompatible entries count as misses (the runner
     recomputes and overwrites them) — the cache must never be able to
-    fail a run.
+    fail a run.  :func:`load_cached_detail` distinguishes the reasons.
     """
-    path = cache_path(spec, directory)
-    try:
-        wrapper = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return None
-    if not isinstance(wrapper, dict):
-        return None
-    if wrapper.get("schema") != CACHE_SCHEMA_VERSION:
-        return None
-    # Entries computed by a different library version are stale even
-    # when the spec is unchanged — a backend fix must not keep serving
-    # pre-fix numbers out of ~/.cache forever.
-    if wrapper.get("library") != repro.__version__:
-        return None
-    # The filename is already the (truncated) spec hash; comparing the
-    # *full* stored payload detects the residual collision case and any
-    # hash-scheme drift across library versions.
-    if wrapper.get("spec_payload") != spec.payload():
-        return None
-    try:
-        return ExperimentResult.from_json(wrapper["result"])
-    except (KeyError, TypeError, ValueError):
-        return None
+    return load_cached_detail(spec, directory)[0]
 
 
 def store_result(spec: ScenarioSpec, result: ExperimentResult,

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.bounds import (
     box_directions,
     differential_hull_bounds,
@@ -418,7 +419,11 @@ def run_question(spec: ScenarioSpec, question: Question,
     """Run one question of a spec (building the model when not supplied)."""
     if model is None:
         model = spec.build_model()
-    return _BACKENDS[question.kind](model, spec, question)
+    attrs = {"scenario": spec.name, "kind": question.kind}
+    if question.label:
+        attrs["label"] = question.label
+    with telemetry.span("scenario.question", **attrs):
+        return _BACKENDS[question.kind](model, spec, question)
 
 
 def _run_question_payload(payload) -> QuestionOutcome:
@@ -457,22 +462,56 @@ class AnalysisPlan:
 
 @dataclass
 class RunReport:
-    """Provenance and cache accounting of one ``run_scenario`` call."""
+    """Provenance and cache accounting of one ``run_scenario`` call.
+
+    The accounting itself lives in ``metrics`` — a per-run metrics dict
+    using the same key names the telemetry registry uses
+    (``scenarios.cache.hits``, ``scenarios.run.seconds``, ...) — and the
+    historical ``cache_hit``/``cache_hits``/``cache_misses``/
+    ``elapsed_seconds`` fields are preserved as read-only views over it.
+    The dict is always populated, telemetry enabled or not; when
+    telemetry *is* enabled the same counts also land on the global
+    registry (the cache ones via :mod:`repro.scenarios.cache`).
+    """
 
     scenario: str
     spec_hash: str
-    cache_hit: bool
-    cache_hits: int
-    cache_misses: int
-    elapsed_seconds: float
     questions_run: int
+    metrics: Dict[str, float] = field(default_factory=dict)
     cache_path: Optional[str] = None
 
+    @property
+    def cache_hits(self) -> int:
+        return int(self.metrics.get("scenarios.cache.hits", 0))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self.metrics.get("scenarios.cache.misses", 0))
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache_hits > 0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return float(self.metrics.get("scenarios.run.seconds", 0.0))
+
+    @property
+    def cache_miss_reason(self) -> Optional[str]:
+        """Why the cache lookup missed (``None`` on hits)."""
+        prefix = "scenarios.cache.miss."
+        for key in self.metrics:
+            if key.startswith(prefix):
+                return key[len(prefix):]
+        return None
+
     def render(self) -> str:
+        miss = self.cache_miss_reason
+        suffix = f"; miss={miss}" if miss else ""
         lines = [
             f"run report: scenario={self.scenario} spec={self.spec_hash}",
             f"  cache_hit={'true' if self.cache_hit else 'false'} "
-            f"(hits={self.cache_hits}, misses={self.cache_misses})",
+            f"(hits={self.cache_hits}, misses={self.cache_misses}{suffix})",
             f"  questions_run={self.questions_run} "
             f"elapsed={self.elapsed_seconds:.3f}s",
         ]
@@ -542,26 +581,41 @@ def run_scenario(
         spec = spec_or_name
     spec = plan.select(spec)
 
+    with telemetry.span("scenario.run", scenario=spec.name,
+                        spec=spec.spec_hash()):
+        return _execute_plan(spec, plan)
+
+
+def _execute_plan(spec: ScenarioSpec, plan: AnalysisPlan) -> ScenarioRun:
     start = time.perf_counter()
+    metrics: Dict[str, float] = {
+        "scenarios.cache.hits": 0,
+        "scenarios.cache.misses": 0,
+    }
     if plan.use_cache:
-        cached = _cache.load_cached(spec, plan.cache_dir)
+        cached, reason = _cache.load_cached_detail(spec, plan.cache_dir)
         if cached is not None:
             # The cache is content-addressed, so a differently-*named*
             # variant can hit an entry stored under another label;
             # restamp the identity fields from the requesting spec.
             cached.experiment_id = spec.name
             cached.title = spec.title
+            metrics["scenarios.cache.hits"] = 1
+            metrics["scenarios.run.seconds"] = time.perf_counter() - start
             report = RunReport(
                 scenario=spec.name,
                 spec_hash=spec.spec_hash(),
-                cache_hit=True,
-                cache_hits=1,
-                cache_misses=0,
-                elapsed_seconds=time.perf_counter() - start,
                 questions_run=0,
+                metrics=metrics,
                 cache_path=str(_cache.cache_path(spec, plan.cache_dir)),
             )
             return ScenarioRun(spec=spec, result=cached, report=report)
+    else:
+        # Caching disabled: the run is a (deliberate) miss, counted
+        # per-run only — no disk lookup happened, so no global counter.
+        reason = "bypassed"
+    metrics["scenarios.cache.misses"] = 1
+    metrics[f"scenarios.cache.miss.{reason}"] = 1
 
     result = ExperimentResult(
         experiment_id=spec.name,
@@ -604,14 +658,15 @@ def run_scenario(
             # disk) must not discard a computation that already
             # succeeded — the run degrades to uncached.
             path = None
+    metrics["scenarios.run.seconds"] = elapsed
+    metrics["scenarios.questions.run"] = len(spec.questions)
+    telemetry.inc("scenarios.questions.run", len(spec.questions))
+    telemetry.set_gauge("scenarios.run.seconds", elapsed)
     report = RunReport(
         scenario=spec.name,
         spec_hash=spec.spec_hash(),
-        cache_hit=False,
-        cache_hits=0,
-        cache_misses=1,
-        elapsed_seconds=elapsed,
         questions_run=len(spec.questions),
+        metrics=metrics,
         cache_path=path,
     )
     return ScenarioRun(spec=spec, result=result, report=report)

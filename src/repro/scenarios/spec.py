@@ -174,6 +174,13 @@ class ScenarioSpec:
         from :meth:`payload` so declaring it never invalidates cached
         results.  Keys are validated against the factory signature like
         ``model_kwargs``.
+    golden:
+        Optional mapping ``finding -> value`` (or ``finding ->
+        (value, rtol)``) pinning numeric findings to the figures of the
+        source paper.  Like ``validity`` this is conformance-test
+        metadata — the harness's ``check_golden`` re-runs the questions
+        and compares — and is excluded from :meth:`payload`, so
+        declaring pins never invalidates cached results.
     """
 
     name: str
@@ -187,6 +194,7 @@ class ScenarioSpec:
     description: str = ""
     tags: Tuple[str, ...] = ()
     validity: Tuple[Tuple[str, object], ...] = ()
+    golden: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self):
         if not self.name:
@@ -215,8 +223,10 @@ class ScenarioSpec:
         )
         object.__setattr__(self, "tags", tuple(str(t) for t in self.tags))
         object.__setattr__(self, "validity", _freeze(self.validity))
+        object.__setattr__(self, "golden", _freeze(self.golden))
         self._validate_factory_kwargs()
         self._validate_validity()
+        self._validate_golden()
 
     def _validate_factory_kwargs(self):
         """Reject kwargs the factory does not accept, at construction.
@@ -284,6 +294,28 @@ class ScenarioSpec:
                     f"({low}, {high})"
                 )
 
+    def _validate_golden(self):
+        """Check golden pins: finite values, optional positive rtol."""
+        for key, pin in self.golden_values.items():
+            value, rtol = pin if isinstance(pin, (tuple, list)) else (pin, None)
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"scenario {self.name!r}: golden pin for {key!r} must "
+                    f"be a number or a (value, rtol) pair, got {pin!r}"
+                ) from None
+            if not np.isfinite(value):
+                raise ValueError(
+                    f"scenario {self.name!r}: golden pin for {key!r} must "
+                    f"be finite, got {value}"
+                )
+            if rtol is not None and not (float(rtol) > 0.0):
+                raise ValueError(
+                    f"scenario {self.name!r}: golden rtol for {key!r} must "
+                    f"be positive, got {rtol!r}"
+                )
+
     # ------------------------------------------------------------------
     # Model access
     # ------------------------------------------------------------------
@@ -303,6 +335,11 @@ class ScenarioSpec:
         """Declared kwarg perturbation ranges as a plain dict."""
         return {k: _thaw(v) for k, v in self.validity}
 
+    @property
+    def golden_values(self) -> Dict[str, object]:
+        """Declared golden finding pins as a plain dict."""
+        return {k: _thaw(v) for k, v in self.golden}
+
     def build_model(self):
         """Instantiate the population model this scenario declares."""
         return self.model_factory(**self.kwargs)
@@ -316,9 +353,10 @@ class ScenarioSpec:
 
         The *name* is deliberately excluded: two differently-named specs
         declaring the same computation share a cache entry, and renaming
-        a scenario does not invalidate its artifacts.  ``validity`` is
-        excluded too — it is conformance-test metadata, not part of the
-        computation, so declaring ranges never invalidates caches.
+        a scenario does not invalidate its artifacts.  ``validity`` and
+        ``golden`` are excluded too — they are conformance-test
+        metadata, not part of the computation, so declaring ranges or
+        pins never invalidates caches.
         """
         return {
             "factory": self.factory_ref,
@@ -375,6 +413,13 @@ class ScenarioSpec:
                 for k, v in self.validity_ranges.items()
             )
             lines.append(f"  validity:    {ranges}")
+        if self.golden:
+            pins = ", ".join(
+                f"{k}={v[0]:g} (rtol={v[1]:g})"
+                if isinstance(v, (tuple, list)) else f"{k}={v:g}"
+                for k, v in self.golden_values.items()
+            )
+            lines.append(f"  golden:      {pins}")
         lines.append("  questions:")
         for q in self.questions:
             opts = f" {q.opts}" if q.opts else ""

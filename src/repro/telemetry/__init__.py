@@ -1,0 +1,177 @@
+"""repro.telemetry — zero-dependency tracing + metrics for the toolkit.
+
+Two instruments, one gate:
+
+- **Spans** (:func:`span`): nestable context managers producing a
+  walltime-annotated tree (``render_trace``), exportable to
+  ``chrome://tracing`` JSON (``chrome_trace``/``save_chrome_trace``),
+  with a live subscriber API (``subscribe``) for progress streaming.
+- **Metrics** (:func:`inc`/:func:`observe`/:func:`set_gauge`): a
+  process-local registry of counters, gauges and power-of-two-bucket
+  histograms, snapshotted with :func:`snapshot`.
+
+Everything is **off by default**.  Disabled, ``span()`` returns a shared
+no-op singleton and the metric helpers return after one flag check — the
+overhead regression test in ``tests/test_telemetry.py`` pins the total
+disabled cost on a fig2-sized Pontryagin ladder to ≤5%.  Enable with::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    run = run_scenario("sir-transient")
+    print(telemetry.render_trace())
+    print(telemetry.snapshot()["counters"])
+
+or end to end from the CLI::
+
+    python -m repro run sir-transient --trace --metrics-out metrics.json
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.telemetry import core as _core
+from repro.telemetry.core import subscribe, unsubscribe
+from repro.telemetry.export import chrome_trace, save_chrome_trace, save_snapshot
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import (
+    NOOP_SPAN,
+    Span,
+    clear_trace,
+    current_span,
+    render_trace,
+    span,
+    trace_roots,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "NOOP_SPAN",
+    "chrome_trace",
+    "clear",
+    "clear_trace",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "inc",
+    "live_counter",
+    "live_histogram",
+    "observe",
+    "observe_many",
+    "registry",
+    "render_trace",
+    "reset_metrics",
+    "save_chrome_trace",
+    "save_snapshot",
+    "set_gauge",
+    "snapshot",
+    "span",
+    "stats",
+    "subscribe",
+    "trace_roots",
+    "unsubscribe",
+]
+
+_registry = MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Gate
+# ----------------------------------------------------------------------
+
+def enable() -> None:
+    """Turn tracing + metrics collection on (process-wide)."""
+    _core._set_enabled(True)
+
+
+def disable() -> None:
+    _core._set_enabled(False)
+
+
+def enabled() -> bool:
+    return _core._enabled
+
+
+def clear() -> None:
+    """Drop all recorded spans, metrics and internal op counts."""
+    _registry.reset()
+    clear_trace()
+    _core.reset_stats()
+
+
+def stats() -> Dict[str, int]:
+    """Internal op tally (``spans``, ``updates``) — see the overhead
+    regression test."""
+    return _core.stats()
+
+
+# ----------------------------------------------------------------------
+# Metrics (gated module-level helpers — what library code calls)
+# ----------------------------------------------------------------------
+
+def registry() -> MetricsRegistry:
+    """The global registry (ungated; reads are always allowed)."""
+    return _registry
+
+
+def snapshot() -> Dict[str, Dict[str, Any]]:
+    return _registry.snapshot()
+
+
+def reset_metrics() -> None:
+    _registry.reset()
+
+
+def inc(name: str, n: int = 1) -> None:
+    if not _core._enabled:
+        return
+    _registry.counter(name).inc(n)
+    _core.count_op("updates")
+
+
+def set_gauge(name: str, value: float) -> None:
+    if not _core._enabled:
+        return
+    _registry.gauge(name).set(value)
+    _core.count_op("updates")
+
+
+def observe(name: str, value: float) -> None:
+    if not _core._enabled:
+        return
+    _registry.histogram(name).observe(value)
+    _core.count_op("updates")
+
+
+def observe_many(name: str, values: Iterable[float]) -> None:
+    if not _core._enabled:
+        return
+    n = _registry.histogram(name).observe_many(values)
+    _core.count_op("updates", n)
+
+
+def live_counter(name: str) -> Optional[Counter]:
+    """The named counter iff enabled, else ``None`` — for call sites
+    that update inside a tight loop and want to hoist the lookup."""
+    if not _core._enabled:
+        return None
+    _core.count_op("updates")
+    return _registry.counter(name)
+
+
+def live_histogram(name: str) -> Optional[Histogram]:
+    if not _core._enabled:
+        return None
+    _core.count_op("updates")
+    return _registry.histogram(name)

@@ -1,0 +1,82 @@
+"""Shared state for :mod:`repro.telemetry`: the on/off gate, the
+subscriber fan-out, and the internal operation tally.
+
+Everything here is process-local and stdlib-only.  The gate defaults to
+*off*; in that state every public telemetry helper is a constant-time
+no-op so instrumented library code pays only a flag check.
+
+The operation tally (:func:`stats`) counts how many telemetry
+operations *would have been* recorded — it is what lets the overhead
+regression test convert "ops per workload" into a provable disabled-cost
+bound instead of a flaky wall-clock A/B comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+# Flipped by repro.telemetry.enable()/disable().  Read directly
+# (``core._enabled``) on hot paths: one global load, no function call.
+_enabled: bool = False
+
+_ops: Dict[str, int] = {"spans": 0, "updates": 0}
+
+_subscribers: Dict[int, Callable[[str, Any], None]] = {}
+_next_token: int = 0
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def _set_enabled(value: bool) -> None:
+    global _enabled
+    _enabled = bool(value)
+
+
+def count_op(kind: str, n: int = 1) -> None:
+    _ops[kind] = _ops.get(kind, 0) + int(n)
+
+
+def stats() -> Dict[str, int]:
+    """Internal telemetry-operation counts (spans recorded, registry
+    updates) since the last :func:`reset_stats`/``telemetry.clear``."""
+    return dict(_ops)
+
+
+def reset_stats() -> None:
+    _ops.clear()
+    _ops.update({"spans": 0, "updates": 0})
+
+
+def subscribe(callback: Callable[[str, Any], None]) -> int:
+    """Register ``callback(event, span)`` for ``"span_start"`` /
+    ``"span_end"`` events; returns a token for :func:`unsubscribe`.
+
+    This is the progress seam for streaming consumers: a subscriber sees
+    every span boundary live, without waiting for the tree to finish.
+    """
+    global _next_token
+    _next_token += 1
+    _subscribers[_next_token] = callback
+    return _next_token
+
+
+def unsubscribe(token: int) -> None:
+    _subscribers.pop(token, None)
+
+
+def clear_subscribers() -> None:
+    _subscribers.clear()
+
+
+def notify(event: str, span: Any) -> None:
+    if not _subscribers:
+        return
+    for callback in list(_subscribers.values()):
+        try:
+            callback(event, span)
+        except Exception:
+            # A broken progress listener must never take down the
+            # instrumented computation.
+            pass

@@ -1,0 +1,63 @@
+"""Exporters: Chrome-trace JSON (``chrome://tracing`` / Perfetto) and
+metrics-snapshot files.
+
+The Chrome trace format is a flat list of complete (``"ph": "X"``)
+events with microsecond timestamps; nesting is reconstructed by the
+viewer from overlap, so the tree walk just flattens.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.spans import Span, trace_roots
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _walk(sp: Span, t0: float, tid: int, pid: int,
+          events: List[Dict[str, Any]]) -> None:
+    events.append({
+        "name": sp.name,
+        "cat": "repro",
+        "ph": "X",
+        "ts": (sp.start - t0) * 1e6,
+        "dur": sp.duration * 1e6,
+        "pid": pid,
+        "tid": tid,
+        "args": {k: _json_safe(v) for k, v in sp.attributes.items()},
+    })
+    for child in sp.children:
+        _walk(child, t0, tid, pid, events)
+
+
+def chrome_trace(spans: Optional[List[Span]] = None) -> Dict[str, Any]:
+    """Recorded spans as a ``chrome://tracing``-loadable event dict."""
+    roots = trace_roots() if spans is None else spans
+    events: List[Dict[str, Any]] = []
+    pid = os.getpid()
+    if roots:
+        t0 = min(sp.start for sp in roots)
+        for tid, root in enumerate(roots):
+            _walk(root, t0, tid, pid, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(path, spans: Optional[List[Span]] = None) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans), indent=1,
+                               sort_keys=True))
+    return path
+
+
+def save_snapshot(path, snapshot: Dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+    return path

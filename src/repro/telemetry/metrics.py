@@ -1,0 +1,149 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The instruments are deliberately tiny — plain ``__slots__`` objects with
+integer/float fields — so an update is a couple of attribute operations.
+Histograms keep count/sum/min/max plus power-of-two buckets, which is
+enough to answer "how big are the SSA chunks" or "how fast do the
+Pontryagin residuals shrink" without a dependency on any stats package.
+
+A :class:`MetricsRegistry` is always live once you hold one; the
+enable/disable gating lives in the module-level helpers in
+:mod:`repro.telemetry` (``inc``/``observe``/``set_gauge``), which is the
+API instrumented library code uses.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Tuple
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (e.g. events/sec)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+def _bucket_edge(value: float) -> float:
+    """Upper edge of the power-of-two bucket containing ``value``."""
+    if value <= 0.0:
+        return 0.0
+    return 2.0 ** math.ceil(math.log2(value))
+
+
+class Histogram:
+    """count/sum/min/max plus log-scale (power-of-two) buckets."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[float, int] = {}
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        edge = _bucket_edge(v)
+        self.buckets[edge] = self.buckets.get(edge, 0) + 1
+
+    def observe_many(self, values: Iterable[float]) -> int:
+        n = 0
+        for v in values:
+            self.observe(v)
+            n += 1
+        return n
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        buckets: List[Tuple[float, int]] = sorted(self.buckets.items())
+        out["buckets"] = [[edge, n] for edge, n in buckets]
+        return out
+
+
+class MetricsRegistry:
+    """Named instrument store with a consistent snapshot/reset surface."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._counters.setdefault(name, Counter(name))
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._gauges.setdefault(name, Gauge(name))
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._histograms.setdefault(name, Histogram(name))
+        return inst
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serializable view of every instrument."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: h.summary() for k, h in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -1,0 +1,165 @@
+"""Contextvar-based span tracer.
+
+``span("pontryagin.sweep", lanes=32)`` is a nestable context manager;
+entering links the span under the current one (or makes it a root),
+exiting stamps the wall time.  Parent linkage rides on a
+:class:`contextvars.ContextVar`, so the tree stays correct across
+threads and asyncio tasks — the seam the future serving layer needs.
+
+When telemetry is disabled :func:`span` returns a shared no-op
+singleton, so the instrumented call sites pay one flag check and one
+(empty) ``with`` block.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry import core
+
+_current: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_telemetry_current_span", default=None
+)
+_roots: List["Span"] = []
+
+# Children groups at least this large render as one aggregated line —
+# per-iteration kernel spans (rk4 sweeps, credal steps) stay readable.
+_AGGREGATE_THRESHOLD = 4
+
+
+class Span:
+    __slots__ = ("name", "attributes", "start", "end", "children",
+                 "error", "_token")
+
+    def __init__(self, name: str, attributes: Dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.start = 0.0
+        self.end = 0.0
+        self.children: List["Span"] = []
+        self.error: Optional[str] = None
+        self._token = None
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute discovered mid-span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        parent = _current.get()
+        if parent is not None:
+            parent.children.append(self)
+        else:
+            _roots.append(self)
+        self._token = _current.set(self)
+        core.count_op("spans")
+        core.notify("span_start", self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.error = exc_type.__name__
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        core.notify("span_end", self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Span(%r, %.6fs, %d children)" % (
+            self.name, self.duration, len(self.children))
+
+
+class _NoOpSpan:
+    """Shared disabled-mode stand-in; every method is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoOpSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoOpSpan()
+
+
+def span(name: str, **attributes: Any):
+    """Open a traced span, or the shared no-op when telemetry is off."""
+    if not core._enabled:
+        return NOOP_SPAN
+    return Span(name, attributes)
+
+
+def current_span() -> Optional[Span]:
+    return _current.get()
+
+
+def trace_roots() -> List[Span]:
+    """Completed-or-open root spans recorded since the last clear."""
+    return list(_roots)
+
+
+def clear_trace() -> None:
+    _roots.clear()
+    if _current.get() is not None:
+        _current.set(None)
+
+
+def _format_attrs(attributes: Dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    parts = []
+    for key, value in attributes.items():
+        text = str(value)
+        if len(text) > 32:
+            text = text[:29] + "..."
+        parts.append("%s=%s" % (key, text))
+    return " [" + " ".join(parts) + "]"
+
+
+def _render_span(sp: Span, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    mark = " !" + sp.error if sp.error else ""
+    lines.append("%s%s%s  %.3fs%s" % (
+        pad, sp.name, _format_attrs(sp.attributes), sp.duration, mark))
+    # Group same-name children, preserving first-seen order.
+    groups: Dict[str, List[Span]] = {}
+    for child in sp.children:
+        groups.setdefault(child.name, []).append(child)
+    for name, members in groups.items():
+        if len(members) >= _AGGREGATE_THRESHOLD:
+            total = sum(m.duration for m in members)
+            lines.append("%s  %s ×%d  total=%.3fs mean=%.4fs" % (
+                pad, name, len(members), total,
+                total / len(members)))
+        else:
+            for member in members:
+                _render_span(member, indent + 1, lines)
+
+
+def render_trace(spans: Optional[List[Span]] = None) -> str:
+    """Indented walltime-annotated tree of the recorded spans.
+
+    Runs of four or more same-name siblings (per-iteration kernel
+    spans) are folded into one ``name ×N total=...`` line.
+    """
+    roots = trace_roots() if spans is None else spans
+    if not roots:
+        return "(no spans recorded)"
+    lines: List[str] = []
+    for root in roots:
+        _render_span(root, 0, lines)
+    return "\n".join(lines)

@@ -4,9 +4,10 @@ Registering a :class:`~repro.scenarios.ScenarioSpec` is the *entire*
 cost of testing a new model: :class:`ScenarioConformance` derives the
 structural soundness suite — bound-family ordering (envelope ⊆ template
 ⊆ hull), finite-``N`` ensemble grounding, interval-DTMC
-conservativeness, batch-vs-scalar kernel agreement, and
-validity-range perturbation — from the spec alone, and the test files
-under ``tests/`` are thin parametrizations over the registry.
+conservativeness, batch-vs-scalar kernel agreement,
+validity-range perturbation, and golden-pin verification against the
+paper's figures — from the spec alone, and the test files under
+``tests/`` are thin parametrizations over the registry.
 
 The core (:mod:`repro.testing.conformance`) depends only on numpy and
 the library itself, so benchmarks and CI scripts can run the same
@@ -29,6 +30,7 @@ from repro.testing.conformance import (
     ConformanceViolation,
     ScenarioConformance,
     dtmc_cases,
+    golden_cases,
     perturbation_cases,
     unique_model_cases,
 )
@@ -43,4 +45,5 @@ __all__ = [
     "unique_model_cases",
     "dtmc_cases",
     "perturbation_cases",
+    "golden_cases",
 ]

@@ -91,6 +91,7 @@ __all__ = [
     "unique_model_cases",
     "dtmc_cases",
     "perturbation_cases",
+    "golden_cases",
 ]
 
 #: Slack for envelope-vs-template (Pontryagin time discretisation).
@@ -580,6 +581,53 @@ class ScenarioConformance:
         return self.model.theta_dim
 
     # ------------------------------------------------------------------
+    # (f) golden finding pins against the paper's figures
+    # ------------------------------------------------------------------
+
+    def check_golden(self, rtol: float = 5e-4) -> int:
+        """Recomputed findings match the spec's declared golden pins.
+
+        Re-runs every question through the runner backend (the code
+        path ``python -m repro run`` uses, bypassing the disk cache),
+        merges the prefixed findings and compares each declared
+        :attr:`~repro.scenarios.ScenarioSpec.golden` pin.  A pin is
+        either a bare value (checked at ``rtol``) or a ``(value, rtol)``
+        pair carrying its own tolerance — e.g. for stochastic findings
+        that only reproduce to a few digits.  Returns the number of
+        pins checked.
+        """
+        spec = self.spec
+        pins = spec.golden_values
+        if not pins:
+            raise ConformanceViolation(
+                f"{spec.name}: no golden pins declared; nothing to check "
+                "(declare ScenarioSpec.golden)"
+            )
+        findings: Dict[str, float] = {}
+        for q in spec.questions:
+            # Backends emit findings already label-prefixed.
+            outcome = run_question(spec, q, model=self.model)
+            findings.update(outcome.findings)
+        for key, pin in pins.items():
+            expected, tol = (
+                (float(pin[0]), float(pin[1]))
+                if isinstance(pin, (tuple, list)) else (float(pin), rtol)
+            )
+            _require(
+                key in findings,
+                f"{spec.name}: golden pin {key!r} matches no emitted "
+                f"finding; available: {sorted(findings)}",
+            )
+            actual = float(findings[key])
+            _require(
+                abs(actual - expected) <= tol * max(1.0, abs(expected)),
+                f"{spec.name}: golden finding {key} = {actual:.12g} "
+                f"deviates from the pinned {expected:.12g} by more than "
+                f"rtol={tol:g}",
+            )
+        return len(pins)
+
+    # ------------------------------------------------------------------
     # The whole suite
     # ------------------------------------------------------------------
 
@@ -627,6 +675,12 @@ class ScenarioConformance:
             applicable=bool(self.spec.validity),
             detail="no validity ranges declared",
         )
+        record(
+            "golden",
+            self.check_golden,
+            applicable=bool(self.spec.golden),
+            detail="no golden pins declared",
+        )
         return report
 
 
@@ -670,4 +724,14 @@ def perturbation_cases(
     return [
         spec for spec in (list_scenarios() if specs is None else specs)
         if spec.validity
+    ]
+
+
+def golden_cases(
+    specs: Optional[Sequence[ScenarioSpec]] = None,
+) -> List[ScenarioSpec]:
+    """Specs declaring golden finding pins (paper-figure anchors)."""
+    return [
+        spec for spec in (list_scenarios() if specs is None else specs)
+        if spec.golden
     ]

@@ -26,6 +26,7 @@ from repro.testing import (
     ConformanceViolation,
     ScenarioConformance,
     dtmc_cases,
+    golden_cases,
     perturbation_cases,
     unique_model_cases,
 )
@@ -34,6 +35,7 @@ from repro.testing.strategies import unit_fracs, validity_fracs
 MODEL_CASES = [pytest.param(s, id=s.name) for s in unique_model_cases()]
 DTMC_CASES = [pytest.param(s, id=s.name) for s in dtmc_cases()]
 PERTURB_CASES = [pytest.param(s, id=s.name) for s in perturbation_cases()]
+GOLDEN_CASES = [pytest.param(s, id=s.name) for s in golden_cases()]
 
 # A couple of structurally distinct perturbation targets for the
 # hypothesis-driven property (the full registry sweep runs seeded
@@ -58,6 +60,18 @@ def test_ensemble_mean_inside_envelope(spec):
 @pytest.mark.parametrize("spec", DTMC_CASES)
 def test_dtmc_bounds_conservative(spec):
     assert ScenarioConformance(spec).check_dtmc_conservative() > 0
+
+
+@pytest.mark.parametrize("spec", GOLDEN_CASES)
+def test_golden_pins_reproduce(spec):
+    assert ScenarioConformance(spec).check_golden() > 0
+
+
+def test_golden_catalog_covers_fig1_and_fig4():
+    # The headline figures stay pinned registry-wide; removing the
+    # declarations (or the scenarios) must fail loudly, not silently
+    # shrink GOLDEN_CASES to nothing.
+    assert {s.name for s in golden_cases()} >= {"sir-transient", "sir-hull"}
 
 
 @pytest.mark.parametrize("spec", PERTURB_CASES)
@@ -152,6 +166,33 @@ def test_validity_excluded_from_payload_hash():
     assert declared.validity_ranges == {"theta_max": [4.0, 6.0]}
 
 
+def test_golden_excluded_from_payload_hash():
+    plain = _spec()
+    declared = _spec(golden={"hull_S_width_final": 0.5})
+    assert plain.spec_hash() == declared.spec_hash()
+    assert declared.golden_values == {"hull_S_width_final": 0.5}
+
+
+def test_golden_pins_validated_at_construction():
+    with pytest.raises(ValueError, match="finite"):
+        _spec(golden={"x": float("nan")})
+    with pytest.raises(ValueError, match="number"):
+        _spec(golden={"x": "not-a-number"})
+    with pytest.raises(ValueError, match="rtol"):
+        _spec(golden={"x": (1.0, -1e-3)})
+
+
+def test_check_golden_flags_missing_finding_and_deviation():
+    conf = ScenarioConformance(_spec(golden={"no_such_finding": 1.0}))
+    with pytest.raises(ConformanceViolation, match="no_such_finding"):
+        conf.check_golden()
+    conf = ScenarioConformance(
+        _spec(golden={"hull_S_width_final": (99.0, 1e-6)})
+    )
+    with pytest.raises(ConformanceViolation, match="deviates"):
+        conf.check_golden()
+
+
 # ----------------------------------------------------------------------
 # Harness mechanics
 # ----------------------------------------------------------------------
@@ -207,7 +248,7 @@ def test_run_all_report_lists_every_check():
     )
     names = {o.name for o in report.outcomes}
     assert names == {"ordering", "batch-consistency", "ensemble",
-                     "dtmc-conservative", "perturbation"}
+                     "dtmc-conservative", "perturbation", "golden"}
     assert {o.status for o in report.outcomes} <= {
         "passed", "not-applicable"
     }
