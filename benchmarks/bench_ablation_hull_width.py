@@ -59,5 +59,5 @@ def compute_sensitivity() -> ExperimentResult:
 def bench_ablation_hull_width(benchmark):
     result = run_once(benchmark, compute_sensitivity)
     save_experiment(result)
-    assert result.findings["superlinear_degradation"] == 1.0
+    assert bool(result.findings["superlinear_degradation"])
     assert result.findings["min_looseness_ratio"] >= 1.0 - 1e-6

@@ -87,7 +87,7 @@ def bench_fig4_hull_transient(benchmark):
     result = run_once(benchmark, compute_fig4)
     save_experiment(result)
     assert result.findings["tm2_hull_trivial"] == 0.0
-    assert result.findings["tm6_hull_trivial"] == 1.0
+    assert bool(result.findings["tm6_hull_trivial"])
     # Looseness ratio grows sharply between theta_max = 2 and 5.
     ratio2 = (result.findings["tm2_hull_I_width_at_10"]
               / max(result.findings["tm2_exact_I_width_at_10"], 1e-9))

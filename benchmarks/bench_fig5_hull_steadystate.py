@@ -79,8 +79,8 @@ def bench_fig5_hull_steadystate(benchmark):
     save_experiment(result)
     # Soundness: hull rectangle always contains the Birkhoff region.
     for tag in ("tm2", "tm3", "tm4", "tm5"):
-        assert result.findings[f"{tag}_region_inside_rect"] == 1.0
-        assert result.findings[f"{tag}_hull_converged"] == 1.0
+        assert bool(result.findings[f"{tag}_region_inside_rect"])
+        assert bool(result.findings[f"{tag}_hull_converged"])
     # Looseness grows non-linearly in theta_max.
     assert (result.findings["tm5_area_ratio"]
             > 3.0 * result.findings["tm2_area_ratio"])

@@ -1,0 +1,68 @@
+"""Static-analysis gate throughput — full-repo ``repro lint`` timing.
+
+The linter runs in CI before every test job, so its wall-clock time is
+part of every contributor's feedback loop.  This bench times the full
+pipeline — file discovery, AST pass over ``src``/``tests``/
+``benchmarks`` with all REP rules, and the registry contract audit —
+on the repository itself, asserts the report is strict-clean, and
+enforces a hard latency budget so a slow rule cannot creep in
+unnoticed.
+
+The timing lands in ``benchmarks/results/BENCH_scenarios.json`` under
+the ``lint_full_repo`` id, alongside the scenario-pipeline timings.
+
+Run directly (``--smoke`` for the CI-sized single-repeat variant)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_lint.py [--smoke]
+"""
+
+import argparse
+import pathlib
+
+from _common import best_of, record_timing
+from repro.analysis.lint import run_lint
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Hard ceiling on one full-repo lint pass (discovery + AST + audit).
+BUDGET_SECONDS = 5.0
+
+
+def bench_full_repo(smoke: bool) -> dict:
+    repeats = 1 if smoke else 3
+    run_lint(REPO_ROOT)  # warm: imports, catalog registration, pyc
+    seconds, report = best_of(lambda: run_lint(REPO_ROOT), repeats)
+
+    assert report.exit_code(strict=True) == 0, report.render_text()
+    assert report.registry_audited, "registry audit did not run"
+    assert seconds < BUDGET_SECONDS, (
+        f"full-repo lint took {seconds:.2f}s, budget is {BUDGET_SECONDS}s"
+    )
+    return {
+        "seconds": seconds,
+        "files_checked": report.files_checked,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "budget_seconds": BUDGET_SECONDS,
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (single repeat)")
+    args = parser.parse_args(argv)
+
+    summary = bench_full_repo(args.smoke)
+    print(f"lint_full_repo: {summary['files_checked']} files in "
+          f"{summary['seconds']:.3f}s (budget {BUDGET_SECONDS:.0f}s, "
+          f"strict-clean)")
+    record_timing("lint_full_repo", summary["seconds"],
+                  files_checked=summary["files_checked"],
+                  budget_seconds=BUDGET_SECONDS,
+                  smoke=bool(args.smoke))
+    return summary
+
+
+if __name__ == "__main__":
+    main()

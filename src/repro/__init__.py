@@ -48,7 +48,6 @@ from repro.analysis import (
     interval_width_sensitivity,
     robust_minimize_scalar,
 )
-from repro.engine import simulate_ensemble, sweep_constant_ensembles
 from repro.bounds import (
     TemplatePolytope,
     box_directions,
@@ -63,6 +62,7 @@ from repro.bounds import (
     uncertain_envelope,
 )
 from repro.ctmc import ImpreciseCTMC, IntervalDTMC, imprecise_reward_bounds
+from repro.engine import simulate_ensemble, sweep_constant_ensembles
 from repro.inclusion import DriftExtremizer, ParametricInclusion
 from repro.meanfield import (
     mean_field_accuracy,

@@ -10,7 +10,10 @@ Subcommands:
   every question and print the rendered result plus the run report with
   its cache-hit counter; the telemetry flags print the span tree, dump
   the metrics snapshot and export a ``chrome://tracing`` timeline;
-- ``clear-cache [NAME] [--cache-dir D]`` — drop cached artifacts.
+- ``clear-cache [NAME] [--cache-dir D]`` — drop cached artifacts;
+- ``lint [--strict] [--format=text|json] [--root D] [--no-registry]
+  [--rules]`` — the repo's static-analysis gate (AST rules + registry
+  contract audit, see :mod:`repro.analysis.lint`).
 """
 
 from __future__ import annotations
@@ -160,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="only entries of this scenario")
     p_clear.add_argument("--cache-dir", default=None)
     p_clear.set_defaults(fn=_cmd_clear_cache)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static-analysis gate (AST + registry audit)"
+    )
+    from repro.analysis.lint.cli import add_lint_arguments, main as lint_main
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(fn=lint_main)
     return parser
 
 

@@ -6,6 +6,10 @@
 - :mod:`repro.analysis.convergence` — finite-``N`` convergence studies:
   how fast stochastic trajectories concentrate on the Birkhoff centre
   (the quantitative reading of Figure 6 / Theorem 3).
+- :mod:`repro.analysis.lint` — the repo's own static-analysis gate
+  (``python -m repro lint``): AST rules REP001–REP010 plus the registry
+  contract audit REG001–REG004.  Not imported here — it is a dev tool,
+  not part of the numeric API.
 """
 
 from repro.analysis.convergence import (

@@ -1,0 +1,370 @@
+"""Check framework of the static-analysis pass.
+
+A :class:`Check` inspects one parsed file (a :class:`FileContext`) and
+yields :class:`Finding`\\ s.  The framework owns everything rule-agnostic:
+file discovery and section assignment (``src`` / ``tests`` /
+``benchmarks``), parsing, ``# repro: noqa[REPxxx]`` suppression
+accounting (including the unused-suppression check, REP000), and the
+report object the CLI renders.
+
+Pass 1 is deliberately **zero-dependency and import-free**: it parses
+the target files with :mod:`ast` and never imports them, so a broken
+module is a lint finding rather than a lint crash, and linting cannot
+execute repository code.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Check",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Suppression",
+    "SECTIONS",
+    "build_test_index",
+    "discover_files",
+    "lint_file",
+    "lint_source",
+]
+
+#: The file sections rules scope themselves to.
+SECTIONS = ("src", "tests", "benchmarks")
+
+#: Directory names never linted (fixtures are *deliberately* violating).
+EXCLUDED_DIR_NAMES = frozenset({
+    "__pycache__", ".git", "analysis_fixtures", "results", ".ruff_cache",
+})
+
+#: Code of the framework's own unused-suppression finding.
+UNUSED_SUPPRESSION_CODE = "REP000"
+#: Code attached to files pass 1 cannot parse.
+PARSE_ERROR_CODE = "REP900"
+
+_SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or audit failure) at a location."""
+
+    file: str
+    line: int
+    code: str
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.code} [{self.severity}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.file, self.line, self.code)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: noqa`` comment found in a file.
+
+    ``codes`` of ``None`` means the bare form (suppresses every code on
+    its line); ``file_level`` marks the ``noqa-file[...]`` form, which
+    suppresses the listed codes everywhere in the file and always
+    requires explicit codes — a blanket file-wide mute would hide new
+    rules silently.
+    """
+
+    line: int
+    codes: Optional[FrozenSet[str]]
+    file_level: bool = False
+    used: bool = False
+
+    def matches(self, finding: Finding) -> bool:
+        if self.codes is None:
+            return True
+        return finding.code in self.codes
+
+
+_NOQA_LINE_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+_NOQA_FILE_RE = re.compile(
+    r"#\s*repro:\s*noqa-file\[(?P<codes>[A-Za-z0-9_,\s]+)\]"
+)
+
+
+def _iter_comments(text: str):
+    """``(lineno, comment_text)`` for every real comment token.
+
+    Tokenize-based on purpose: a docstring or string literal *mentioning*
+    ``# repro: noqa`` (this framework documents the syntax, after all)
+    must not register as a suppression.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files are reported as REP900 by the caller; any
+        # suppression accounting for them is moot.
+        return
+
+
+def _parse_suppressions(text: str) -> List[Suppression]:
+    out: List[Suppression] = []
+    for lineno, line in _iter_comments(text):
+        if "noqa" not in line:
+            continue
+        m = _NOQA_FILE_RE.search(line)
+        if m:
+            codes = frozenset(
+                c.strip().upper() for c in m.group("codes").split(",")
+                if c.strip()
+            )
+            out.append(Suppression(line=lineno, codes=codes, file_level=True))
+            continue
+        m = _NOQA_LINE_RE.search(line)
+        if m:
+            raw = m.group("codes")
+            line_codes = None
+            if raw is not None:
+                line_codes = frozenset(
+                    c.strip().upper() for c in raw.split(",") if c.strip()
+                )
+            out.append(Suppression(line=lineno, codes=line_codes))
+    return out
+
+
+@dataclass
+class FileContext:
+    """Everything a check may look at for one file."""
+
+    path: str                 # root-relative posix path (what findings show)
+    section: str              # "src" | "tests" | "benchmarks"
+    text: str
+    tree: ast.AST
+    #: Names referenced anywhere in the test suite (REP007's index);
+    #: empty when linting a single file without cross-file context.
+    test_names: FrozenSet[str] = frozenset()
+
+    def finding(self, node: ast.AST, code: str, message: str,
+                severity: str = "error") -> Finding:
+        return Finding(file=self.path, line=getattr(node, "lineno", 1),
+                       code=code, message=message, severity=severity)
+
+
+class Check:
+    """Base class of one lint rule.
+
+    Subclasses set ``code`` / ``title`` / ``rationale`` (the README rule
+    table is generated from these), restrict ``sections`` when a rule
+    only makes sense for part of the tree, and implement :meth:`run`.
+    """
+
+    code: str = "REP999"
+    title: str = ""
+    rationale: str = ""
+    sections: Tuple[str, ...] = SECTIONS
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Discovery and the cross-file test index
+# ----------------------------------------------------------------------
+
+def _iter_py(directory: Path) -> List[Path]:
+    if not directory.is_dir():
+        return []
+    out = []
+    for path in sorted(directory.rglob("*.py")):
+        if any(part in EXCLUDED_DIR_NAMES for part in path.parts):
+            continue
+        out.append(path)
+    return out
+
+
+def discover_files(root: Path) -> Dict[str, List[Path]]:
+    """The lintable files of a repo, keyed by section."""
+    root = Path(root)
+    return {
+        "src": _iter_py(root / "src"),
+        "tests": _iter_py(root / "tests"),
+        "benchmarks": _iter_py(root / "benchmarks"),
+    }
+
+
+def build_test_index(test_files: Sequence[Path]) -> FrozenSet[str]:
+    """Every identifier / attribute / string literal the tests mention.
+
+    This is REP007's cross-file reference index: a public batch kernel
+    counts as covered when any ``tests/test_*.py`` file names it — as a
+    bare name, an attribute access, a definition, or a string (the
+    ``getattr``/parametrize spelling).
+    """
+    names: set = set()
+    for path in test_files:
+        if not path.name.startswith("test_"):
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, ValueError):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if node.value.isidentifier():
+                    names.add(node.value)
+    return frozenset(names)
+
+
+# ----------------------------------------------------------------------
+# Running checks over one file
+# ----------------------------------------------------------------------
+
+def lint_source(text: str, path: str, section: str,
+                checks: Sequence[Check],
+                test_names: FrozenSet[str] = frozenset()) -> List[Finding]:
+    """Lint one source string; the fixture tests' entry point.
+
+    Applies the section filter, runs every applicable check, then the
+    suppression accounting (matched findings are dropped and their
+    suppressions marked used; unused suppressions come back as REP000
+    warnings).  Returns the surviving findings sorted by location.
+    """
+    if section not in SECTIONS:
+        raise ValueError(f"unknown section {section!r}; expected one of {SECTIONS}")
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        return [Finding(file=path, line=int(exc.lineno or 1),
+                        code=PARSE_ERROR_CODE,
+                        message=f"file does not parse: {exc.msg}")]
+    ctx = FileContext(path=path, section=section, text=text, tree=tree,
+                      test_names=test_names)
+    raw: List[Finding] = []
+    for check in checks:
+        if section not in check.sections:
+            continue
+        raw.extend(check.run(ctx))
+
+    suppressions = _parse_suppressions(text)
+    line_sups = [s for s in suppressions if not s.file_level]
+    file_sups = [s for s in suppressions if s.file_level]
+    kept: List[Finding] = []
+    for f in raw:
+        hit = None
+        for s in line_sups:
+            if s.line == f.line and s.matches(f):
+                hit = s
+                break
+        if hit is None:
+            for s in file_sups:
+                if s.matches(f):
+                    hit = s
+                    break
+        if hit is None:
+            kept.append(f)
+        else:
+            hit.used = True
+    for s in suppressions:
+        if not s.used:
+            scope = "file-level " if s.file_level else ""
+            codes = "all codes" if s.codes is None else ",".join(sorted(s.codes))
+            kept.append(Finding(
+                file=path, line=s.line, code=UNUSED_SUPPRESSION_CODE,
+                message=f"unused {scope}suppression ({codes}): nothing to "
+                        "suppress here — remove the noqa comment",
+                severity="warning",
+            ))
+    return sorted(kept, key=Finding.sort_key)
+
+
+def lint_file(path: Path, rel: str, section: str, checks: Sequence[Check],
+              test_names: FrozenSet[str] = frozenset()) -> List[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, ValueError) as exc:
+        return [Finding(file=rel, line=1, code=PARSE_ERROR_CODE,
+                        message=f"file is unreadable: {exc}")]
+    return lint_source(text, rel, section, checks, test_names)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+
+@dataclass
+class LintReport:
+    """The outcome of one full lint run (pass 1 + optional pass 2)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    registry_audited: bool = False
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict and self.findings:
+            return 1
+        return 0
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in sorted(self.findings, key=Finding.sort_key)]
+        audit = "with" if self.registry_audited else "without"
+        lines.append(
+            f"repro lint: {self.files_checked} files checked {audit} "
+            f"registry audit — {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "registry_audited": self.registry_audited,
+            "counts": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+            },
+            "findings": [
+                f.to_json()
+                for f in sorted(self.findings, key=Finding.sort_key)
+            ],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)

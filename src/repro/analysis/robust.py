@@ -17,7 +17,7 @@ ratio, and finds the optimum at ``phi_1 = 9.0 phi_2``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import minimize_scalar

@@ -11,7 +11,7 @@ paper's accuracy discussion and feed the ablation benches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 

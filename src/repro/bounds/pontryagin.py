@@ -217,8 +217,15 @@ def extremal_trajectory(
     # admissible and the step shrinks whenever the objective regresses.
     relaxation = 1.0
 
+    # Hoisted live handles: one registry lookup before the sweep, plain
+    # attribute ops per iteration (None when telemetry is disabled).
+    iter_counter = telemetry.live_counter("pontryagin.iterations")
+    relax_counter = telemetry.live_counter("pontryagin.relaxation_events")
+    residual_hist = telemetry.live_histogram("pontryagin.value_residual")
+
     for iterations in range(1, max_iter + 1):
-        telemetry.inc("pontryagin.iterations")
+        if iter_counter is not None:
+            iter_counter.inc()
         # (7) forward state sweep under the current control.
         x_traj = rk4_integrate_controlled(dynamics, x0, grid, controls)
         value = float(c @ x_traj.final_state)
@@ -253,12 +260,12 @@ def extremal_trajectory(
                 best = (value, x_traj.states.copy(), costate_states.copy(),
                         controls.copy())
             break
-        if value_prev is not None:
-            telemetry.observe("pontryagin.value_residual",
-                              abs(value - value_prev))
+        if value_prev is not None and residual_hist is not None:
+            residual_hist.observe(abs(value - value_prev))
         if value_prev is not None and value < value_prev - value_tol:
             relaxation = max(0.5 * relaxation, 0.05)
-            telemetry.inc("pontryagin.relaxation_events")
+            if relax_counter is not None:
+                relax_counter.inc()
         if value_prev is not None and abs(value - value_prev) <= value_tol * max(
             1.0, abs(value)
         ):
@@ -461,13 +468,20 @@ def _extremal_trajectories_batch_impl(
     iterations = np.zeros(L, dtype=int)
     costates = np.tile(C[:, None, :], (1, n_max + 1, 1))
 
+    # Hoisted live handles (None when disabled): the lane sweep stamps
+    # metrics per iteration, so the registry lookup happens once here.
+    iter_counter = telemetry.live_counter("pontryagin.iterations")
+    relax_counter = telemetry.live_counter("pontryagin.relaxation_events")
+    residual_hist = telemetry.live_histogram("pontryagin.value_residual")
+
     active = lanes_all.copy()
     for it in range(1, max_iter + 1):
         if active.size == 0:
             break
         iterations[active] = it
         a = active
-        telemetry.inc("pontryagin.iterations", int(a.size))
+        if iter_counter is not None:
+            iter_counter.inc(int(a.size))
         # (7) forward state sweep under the current controls.
         fwd = rk4_integrate_controlled_batch(
             dynamics, x0_stack[a], T[a], controls[a], lane_steps=steps[a]
@@ -528,13 +542,13 @@ def _extremal_trajectories_batch_impl(
             relaxation[ac[regressed]] = np.maximum(
                 0.5 * relaxation[ac[regressed]], 0.05
             )
-            if telemetry.enabled():
+            if relax_counter is not None:
                 n_regressed = int(np.count_nonzero(regressed))
                 if n_regressed:
-                    telemetry.inc("pontryagin.relaxation_events", n_regressed)
-                telemetry.observe_many(
-                    "pontryagin.value_residual",
-                    np.abs(v - value_prev[ac])[has_prev[ac]],
+                    relax_counter.inc(n_regressed)
+            if residual_hist is not None:
+                residual_hist.observe_many(
+                    np.abs(v - value_prev[ac])[has_prev[ac]]
                 )
             settled = has_prev[ac] & (
                 np.abs(v - value_prev[ac])

@@ -12,7 +12,7 @@ residual check), which is what the imprecise Kolmogorov machinery in
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy import sparse

@@ -82,14 +82,22 @@ def map_shards(fn: Callable, payloads: Sequence,
 
     with telemetry.span("engine.map_shards", shards=len(payloads),
                         processes=1 if serial else processes):
+        payload_hist = telemetry.live_histogram("engine.shard.payload_bytes")
+        unpicklable = telemetry.live_counter(
+            "engine.shard.unpicklable_payloads"
+        )
         for p in payloads:
             try:
                 size = len(pickle.dumps(p))
             except Exception:
                 # The serial path never required picklable payloads;
-                # observability must not start requiring it either.
+                # observability must not start requiring it either — the
+                # skip is stamped on a counter and size metering stops.
+                if unpicklable is not None:
+                    unpicklable.inc()
                 break
-            telemetry.observe("engine.shard.payload_bytes", size)
+            if payload_hist is not None:
+                payload_hist.observe(size)
         timed = _TimedCall(fn)
         if serial:
             pairs = [timed(p) for p in payloads]

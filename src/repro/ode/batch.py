@@ -32,7 +32,6 @@ call without perturbing each other.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 

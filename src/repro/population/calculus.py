@@ -6,6 +6,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = [
     "numeric_jacobian",
     "check_affine_decomposition",
@@ -64,6 +66,10 @@ def validated_batch_eval(batch_fn: Callable, scalar_fn: Callable, n: int,
         if raw.ndim == 0 or raw.shape != (n,):
             raise ValueError("batched rate has wrong shape")
     except Exception:
+        # The user function cannot take arrays (or pooled them): fall
+        # back to the scalar path forever, stamping the rejection so an
+        # unexpectedly slow run is diagnosable from the metrics.
+        telemetry.inc("calculus.batch_rejections")
         return scalar_fn(), False
     values = np.maximum(raw, 0.0) if clamp else raw
     if status is None:

@@ -181,6 +181,22 @@ class PopulationModel:
         return self.theta_set.dim
 
     @property
+    def declares_affine_drift_batch(self) -> bool:
+        """Whether the model ships the batched affine-drift kernel.
+
+        Catalog models must: the registry audit (``python -m repro
+        lint``) fails on registered models without it, because every
+        bounds layer silently degrades to per-row loops otherwise.
+        """
+        return self._affine_drift_batch is not None
+
+    @property
+    def declares_drift_jacobian_batch(self) -> bool:
+        """Whether the model ships the batched Jacobian kernel (see
+        :attr:`declares_affine_drift_batch` — same audit contract)."""
+        return self._drift_jacobian_batch is not None
+
+    @property
     def is_affine(self) -> bool:
         """Whether the model declares an affine-in-theta drift."""
         return self._affine_drift is not None

@@ -92,6 +92,7 @@ register_scenario(ScenarioSpec(
                 "t = 1.5 at theta in [1, 10]) while the Pontryagin "
                 "bounds stay tight.",
     tags=("paper", "sir", "fig4"),
+    validity={"a": (0.05, 0.3), "theta_max": (5.0, 12.0)},
     golden={
         # The hull I-width blowing past 1 *is* the Fig. 4 message, so
         # it gets a looser per-pin rtol (adaptive-step sensitive).

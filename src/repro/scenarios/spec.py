@@ -15,12 +15,41 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-__all__ = ["Question", "ScenarioSpec", "QUESTION_KINDS"]
+__all__ = ["Question", "ScenarioSpec", "QUESTION_KINDS",
+           "HASH_INCLUDED_FIELDS", "HASH_EXCLUDED_FIELDS"]
+
+#: The :class:`ScenarioSpec` fields whose content feeds
+#: :meth:`ScenarioSpec.payload` and therefore the disk-cache key.
+#: Every dataclass field MUST be listed here or in
+#: :data:`HASH_EXCLUDED_FIELDS` — the registry audit
+#: (``python -m repro lint``) fails on an unclassified field, so adding
+#: a field can neither silently change every cache key nor silently
+#: *not* change keys it should.
+HASH_INCLUDED_FIELDS = (
+    "model_factory",
+    "model_kwargs",
+    "x0",
+    "horizon",
+    "observables",
+    "questions",
+)
+
+#: Fields deliberately excluded from the content hash: identity and
+#: documentation (renames must not invalidate artifacts) and
+#: conformance-test metadata (declaring checks must not either).
+HASH_EXCLUDED_FIELDS = (
+    "name",
+    "title",
+    "description",
+    "tags",
+    "validity",
+    "golden",
+)
 
 #: The analysis questions the runner knows how to dispatch.
 QUESTION_KINDS = (

@@ -56,6 +56,11 @@ for a fixed seed); ``tests/test_engine_equivalence.py`` pins them
 together through CLT bands and two-sample KS tests.
 """
 
+from repro.simulation.adversarial import (
+    policy_from_controls,
+    validate_bound_by_simulation,
+)
+from repro.simulation.batch import BatchResult, batch_simulate
 from repro.simulation.policies import (
     ConstantPolicy,
     ControlPolicy,
@@ -64,11 +69,6 @@ from repro.simulation.policies import (
     PiecewiseConstantPolicy,
     RandomJumpPolicy,
 )
-from repro.simulation.adversarial import (
-    policy_from_controls,
-    validate_bound_by_simulation,
-)
-from repro.simulation.batch import BatchResult, batch_simulate
 from repro.simulation.ssa import SimulationResult, simulate
 
 __all__ = [

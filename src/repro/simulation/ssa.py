@@ -102,8 +102,9 @@ def simulate(
     t_final:
         Simulation horizon.
     rng:
-        Numpy generator; a fresh default generator is used when omitted
-        (pass one explicitly for reproducibility).
+        Numpy generator; when omitted a *deterministically seeded*
+        generator is used, so two argument-less calls replay the same
+        trajectory (pass your own generator for independent runs).
     n_samples:
         Number of equally spaced output samples on ``[t_start, t_final]``.
     max_events:
@@ -113,7 +114,8 @@ def simulate(
         raise ValueError("t_final must exceed t_start")
     if n_samples < 2:
         raise ValueError("n_samples must be >= 2")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng(np.random.SeedSequence(0))
     model = population.model
 
     counts = population.initial_counts.copy()

@@ -15,12 +15,12 @@ inclusion (Theorem 3).  This package computes:
   differential-hull over-approximation, the dashed boxes of Fig. 5.
 """
 
+from repro.steadystate.asymptotic import asymptotic_reachable_hull
 from repro.steadystate.birkhoff import (
     BirkhoffResult,
     birkhoff_centre_2d,
     uncertain_fixed_points,
 )
-from repro.steadystate.asymptotic import asymptotic_reachable_hull
 from repro.steadystate.hullbox import hull_steady_rectangle
 
 __all__ = [

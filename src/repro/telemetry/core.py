@@ -78,5 +78,6 @@ def notify(event: str, span: Any) -> None:
             callback(event, span)
         except Exception:
             # A broken progress listener must never take down the
-            # instrumented computation.
-            pass
+            # instrumented computation; the failure is tallied so
+            # stats() exposes it instead of hiding it.
+            count_op("subscriber_errors")

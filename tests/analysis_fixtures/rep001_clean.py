@@ -1,0 +1,7 @@
+"""Fixture: seeded generator threaded in from the caller (clean)."""
+import numpy as np
+
+
+def draw(seed_seq):
+    rng = np.random.default_rng(seed_seq)
+    return rng.uniform()

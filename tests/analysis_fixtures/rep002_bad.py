@@ -1,0 +1,8 @@
+"""Fixture: broad exception handler that swallows silently (REP002)."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        return None

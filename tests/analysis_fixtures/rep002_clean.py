@@ -1,0 +1,10 @@
+"""Fixture: broad handler that stamps the failure before recovering."""
+import warnings
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except Exception as exc:
+        warnings.warn(f"unreadable {path}: {exc}")
+        return None

@@ -1,0 +1,5 @@
+"""Fixture: exact equality against a nonzero float literal (REP003)."""
+
+
+def is_converged(width):
+    return width == 1.5

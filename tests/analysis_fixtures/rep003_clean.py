@@ -1,0 +1,6 @@
+"""Fixture: tolerance comparison; exact-zero sentinel stays legal."""
+import numpy as np
+
+
+def is_converged(width):
+    return bool(np.isclose(width, 1.5)) or width == 0.0

@@ -1,0 +1,6 @@
+"""Fixture: mutable default argument (REP004)."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket

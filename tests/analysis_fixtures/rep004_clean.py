@@ -1,0 +1,8 @@
+"""Fixture: None default, container built per call (clean)."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,7 @@
+"""Fixture: stdout and wall-clock in library code (REP005 fires twice)."""
+import time
+
+
+def timed(x):
+    print(x)
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: monotonic clock, no stdout (clean)."""
+import time
+
+
+def timed(x):
+    start = time.perf_counter()
+    return x, time.perf_counter() - start

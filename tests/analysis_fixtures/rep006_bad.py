@@ -1,0 +1,8 @@
+"""Fixture: gated telemetry helper called per loop iteration (REP006)."""
+from repro import telemetry
+
+
+def sweep(rows):
+    for row in rows:
+        telemetry.inc("sweep.rows")
+        telemetry.observe("sweep.norm", sum(row))

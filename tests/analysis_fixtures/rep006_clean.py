@@ -1,0 +1,13 @@
+"""Fixture: live handles hoisted before the loop (clean)."""
+from repro import telemetry
+
+
+def sweep(rows):
+    counter = telemetry.live_counter("sweep.rows")
+    hist = telemetry.live_histogram("sweep.norm")
+    for row in rows:
+        if counter is not None:
+            counter.inc()
+        if hist is not None:
+            hist.observe(sum(row))
+    telemetry.inc("sweep.calls")

@@ -1,0 +1,5 @@
+"""Fixture: public batch kernel no test ever names (REP007)."""
+
+
+def mystery_kernel_batch(xs):
+    return xs

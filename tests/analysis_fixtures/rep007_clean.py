@@ -1,0 +1,13 @@
+"""Fixture: batch kernel whose name appears in the test index (clean).
+
+The lint tests pass ``test_names={"covered_kernel_batch"}``; a private
+helper is exempt regardless.
+"""
+
+
+def covered_kernel_batch(xs):
+    return xs
+
+
+def _internal_helper_batch(xs):
+    return xs

@@ -1,0 +1,2 @@
+"""Fixture: wildcard import (REP008)."""
+from os.path import *  # noqa: F403

@@ -1,0 +1,4 @@
+"""Fixture: explicit imports (clean)."""
+from os.path import join, split
+
+__all__ = ["join", "split"]

@@ -1,0 +1,6 @@
+"""Fixture: assert in library code (REP009)."""
+
+
+def checked(x):
+    assert x > 0, "x must be positive"
+    return x

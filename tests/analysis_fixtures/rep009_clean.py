@@ -1,0 +1,7 @@
+"""Fixture: explicit exception survives python -O (clean)."""
+
+
+def checked(x):
+    if x <= 0:
+        raise ValueError("x must be positive")
+    return x

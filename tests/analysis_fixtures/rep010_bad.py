@@ -1,0 +1,8 @@
+"""Fixture: exception conversion without chaining (REP010)."""
+
+
+def parse(text):
+    try:
+        return int(text)
+    except ValueError:
+        raise RuntimeError(f"not an integer: {text!r}")

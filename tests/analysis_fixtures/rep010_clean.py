@@ -1,0 +1,8 @@
+"""Fixture: chained conversion keeps the causal traceback (clean)."""
+
+
+def parse(text):
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise RuntimeError(f"not an integer: {text!r}") from exc

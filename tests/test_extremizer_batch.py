@@ -94,6 +94,21 @@ class TestBatchedEqualsScalar:
             assert value_b == pytest.approx(value_s, rel=1e-12, abs=1e-12)
             np.testing.assert_array_equal(theta_b, theta_s)
 
+    def test_minimize_direction_batch_matches_scalar(self, factory, method):
+        model = factory()
+        rng = np.random.default_rng(42)
+        states, directions = _random_batch(model, rng)
+        batched = DriftExtremizer(model, method=method, grid_resolution=5)
+        scalar = DriftExtremizer(model, method=method, grid_resolution=5,
+                                 batch=False)
+        thetas_b, values_b = batched.minimize_direction_batch(
+            states, directions
+        )
+        for r, (x, p) in enumerate(zip(states, directions)):
+            theta_s, value_s = scalar.minimize_direction(x, p)
+            assert values_b[r] == pytest.approx(value_s, rel=1e-12, abs=1e-12)
+            np.testing.assert_array_equal(thetas_b[r], theta_s)
+
     def test_velocity_envelope_batch(self, factory, method):
         model = factory()
         rng = np.random.default_rng(7)
@@ -157,6 +172,28 @@ class TestModelBatchKernels:
                 drifts[r], model.drift(states[r], thetas[r]),
                 rtol=1e-12, atol=1e-12,
             )
+
+    @pytest.mark.parametrize("factory", CATALOG_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_jacobian_x_batch_matches_scalar(self, factory):
+        model = factory()
+        rng = np.random.default_rng(13)
+        states = rng.uniform(0.0, 1.0, size=(N_POINTS, model.dim))
+        thetas = model.theta_set.sample(rng, N_POINTS)
+        jacs = model.jacobian_x_batch(states, thetas)
+        assert jacs.shape == (N_POINTS, model.dim, model.dim)
+        for r in range(N_POINTS):
+            np.testing.assert_allclose(
+                jacs[r], model.jacobian_x(states[r], thetas[r]),
+                rtol=1e-12, atol=1e-12,
+            )
+
+    def test_jacobian_x_batch_row_mismatch_rejected(self):
+        model = make_sir_model()
+        states = np.full((3, model.dim), 0.4)
+        thetas = model.theta_set.sample(np.random.default_rng(0), 2)
+        with pytest.raises(ValueError, match="rows"):
+            model.jacobian_x_batch(states, thetas)
 
     def test_affine_parts_batch_without_declaration_falls_back(self):
         tr = Transition("t", [1.0], lambda x, th: x[0] * th[0])

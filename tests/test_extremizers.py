@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.inclusion import DriftExtremizer
-from repro.params import Box, DiscreteSet, Interval
+from repro.params import DiscreteSet, Interval
 from repro.population import PopulationModel, Transition
 
 

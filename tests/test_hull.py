@@ -1,7 +1,6 @@
 """Tests for the differential hull (repro.bounds.hull)."""
 
 import numpy as np
-import pytest
 
 from repro.bounds import differential_hull_bounds, uncertain_envelope
 from repro.models import make_sir_model

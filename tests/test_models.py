@@ -8,11 +8,9 @@ from repro.models import (
     SIR_PAPER_PARAMS,
     gps_initial_state_map,
     gps_initial_state_poisson,
-    make_bike_station_model,
     make_gps_map_model,
     make_gps_poisson_model,
     make_seir_model,
-    make_sir_full_model,
     make_sir_model,
     poisson_rate_from_map,
 )

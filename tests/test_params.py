@@ -218,3 +218,49 @@ class TestAbstractInterface:
             base.corners()
         with pytest.raises(NotImplementedError):
             _ = base.dim
+
+
+class TestProjectBatch:
+    """Differential: every project_batch row equals per-row project()."""
+
+    @pytest.mark.parametrize("domain", [
+        Interval(1.0, 10.0),
+        Box([("lam1", 1.0, 7.0), ("lam2", 2.0, 3.0)]),
+        DiscreteSet([[1.0, 0.0], [4.0, 2.0], [9.0, -1.0]]),
+        Singleton([2.5]),
+    ], ids=lambda d: type(d).__name__)
+    def test_matches_scalar_rows(self, domain):
+        rng = np.random.default_rng(20160604)
+        thetas = rng.uniform(-5.0, 15.0, size=(16, domain.dim))
+        batched = domain.project_batch(thetas)
+        assert batched.shape == (16, domain.dim)
+        for r, row in enumerate(thetas):
+            np.testing.assert_array_equal(batched[r], domain.project(row))
+
+    def test_generic_base_path_matches_scalar_rows(self):
+        # A set that only implements project() exercises the base-class
+        # row loop the overrides above replace.
+        class HalfLine(ParameterSet):
+            names = ("h",)
+
+            @property
+            def dim(self):
+                return 1
+
+            def project(self, theta):
+                return np.maximum(np.asarray(theta, dtype=float), 0.0)
+
+        domain = HalfLine()
+        thetas = np.array([[-2.0], [0.0], [3.5]])
+        batched = domain.project_batch(thetas)
+        for r, row in enumerate(thetas):
+            np.testing.assert_array_equal(batched[r], domain.project(row))
+
+    @pytest.mark.parametrize("domain", [
+        Interval(1.0, 10.0),
+        Box([("lam1", 1.0, 7.0), ("lam2", 2.0, 3.0)]),
+        DiscreteSet([[1.0, 0.0], [4.0, 2.0]]),
+    ], ids=lambda d: type(d).__name__)
+    def test_wrong_width_rejected(self, domain):
+        with pytest.raises(ValueError):
+            domain.project_batch(np.zeros((4, domain.dim + 1)))

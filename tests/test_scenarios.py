@@ -5,6 +5,8 @@ import json
 import numpy as np
 import pytest
 
+from repro.__main__ import main as cli_main
+from repro.models import make_sir_model
 from repro.reporting import ExperimentResult
 from repro.scenarios import (
     Question,
@@ -15,8 +17,6 @@ from repro.scenarios import (
     run_question,
     run_scenario,
 )
-from repro.__main__ import main as cli_main
-from repro.models import make_sir_model
 
 #: The Fig. 1 golden pins of tests/test_golden_figures.py — the
 #: sir-transient scenario must reproduce them through the pipeline.

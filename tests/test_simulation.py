@@ -120,6 +120,15 @@ class TestSSA:
         np.testing.assert_allclose(a.states, b.states)
         assert a.n_events == b.n_events
 
+    def test_default_rng_is_deterministic(self, sir_model):
+        # The argument-less form must replay, not draw global entropy:
+        # two calls without an rng produce the identical trajectory.
+        pop = sir_model.instantiate(100, [0.7, 0.3])
+        a = simulate(pop, ConstantPolicy([5.0]), 1.0, n_samples=30)
+        b = simulate(pop, ConstantPolicy([5.0]), 1.0, n_samples=30)
+        np.testing.assert_array_equal(a.states, b.states)
+        assert a.n_events == b.n_events
+
     def test_invalid_arguments(self, sir_model, rng):
         pop = sir_model.instantiate(10, [0.7, 0.3])
         with pytest.raises(ValueError):

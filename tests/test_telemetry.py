@@ -133,6 +133,36 @@ def test_subscriber_sees_span_boundaries_and_survives_errors():
     assert len(events) == 4
 
 
+def test_broken_subscriber_is_tallied_not_hidden():
+    from repro.telemetry import core
+
+    telemetry.enable()
+    before = core.stats().get("subscriber_errors", 0)
+
+    def broken(event, sp):
+        raise ValueError("listener bug")
+
+    token = telemetry.subscribe(broken)
+    with telemetry.span("a"):
+        pass
+    telemetry.unsubscribe(token)
+    # One failure per span boundary (start + end).
+    assert core.stats().get("subscriber_errors", 0) == before + 2
+
+
+def test_unpicklable_payload_stamps_counter_and_stops_size_metering():
+    from repro.engine import map_shards
+
+    telemetry.enable()
+    results = map_shards(str, [lambda: None], processes=None)
+    assert len(results) == 1
+    snap = telemetry.snapshot()
+    assert snap["counters"].get("engine.shard.unpicklable_payloads") == 1
+    # Size metering stopped at the unpicklable payload: the hoisted
+    # histogram exists but recorded nothing.
+    assert snap["histograms"]["engine.shard.payload_bytes"]["count"] == 0
+
+
 # ----------------------------------------------------------------------
 # Metrics
 # ----------------------------------------------------------------------
