@@ -1,0 +1,170 @@
+"""Backend seam — numpy reference vs the numba JIT backend.
+
+PR 9 put a pluggable compiled-array backend under every batch kernel;
+this bench measures what the opt-in numba backend buys (and costs) on
+the two workloads that stress the seam from opposite ends:
+
+- **fig2 pontryagin ladder**: the Figure-2 bang-bang transient ladder —
+  drift/jacobian model kernels plus the lockstep RK4 stage math, the
+  most kernel-dispatch-heavy bound computation in the library;
+- **fig6 ensemble**: the Figure-6 finite-``N`` ensemble sweep — the
+  vectorized SSA engine's hot loop dispatching the batched transition
+  rates through the seam.
+
+For each installed backend the *first* call runs against a fresh model
+(so JIT compilation is inside the measurement) and is archived as the
+``first_call_seconds`` entry; steady-state wall time is the best of the
+following repeats with the compile cache warm, which is what the
+speedup compares.  Results (plus the backend telemetry counters:
+compiles, dispatches, fallbacks) are archived into
+``benchmarks/results/BENCH_backend.json``.  Without numba installed the
+bench degrades to a numpy-only baseline record — it never fails.
+
+Run directly (``--smoke`` for the CI-sized variant)::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py [--smoke]
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from _common import RESULTS_DIR, best_of, timed
+from repro import telemetry
+from repro.backend import available_backends
+from repro.bounds import pontryagin_transient_bounds
+from repro.engine import sweep_constant_ensembles
+from repro.models import make_sir_model
+
+BENCH_PATH = RESULTS_DIR / "BENCH_backend.json"
+TELEMETRY_PATH = RESULTS_DIR / "backend_telemetry.json"
+
+X0 = (0.7, 0.3)
+
+#: Figure-2 problem horizon (the bang-bang extremals at T = 3).
+FIG2_HORIZON = 3.0
+
+#: Steady-state speedup floor on the fig2 ladder (full runs, numba on).
+FIG2_NUMBA_FLOOR = 3.0
+
+
+def bench_fig2_ladder(smoke: bool, backend: str) -> dict:
+    """The fig2 Pontryagin transient ladder on one backend."""
+    n_horizons = 3 if smoke else 8
+    steps_per_unit = 60.0 if smoke else 200.0
+    observables = ["I"] if smoke else ["S", "I"]
+    horizons = np.linspace(FIG2_HORIZON / n_horizons, FIG2_HORIZON,
+                           n_horizons)
+    model = make_sir_model()
+
+    def run():
+        return pontryagin_transient_bounds(
+            model, X0, horizons, observables=observables,
+            steps_per_unit=steps_per_unit, backend=backend,
+        )
+
+    # First call against a fresh model: any JIT compilation happens here.
+    bounds, first_s = timed(run)
+    steady_s, _ = best_of(run, 1 if smoke else 3)
+    return {
+        "first_call_seconds": round(first_s, 6),
+        "steady_seconds": round(steady_s, 6),
+        "compile_overhead_seconds": round(max(0.0, first_s - steady_s), 6),
+        "final_lower_I": float(bounds.lower["I"][-1]),
+        "final_upper_I": float(bounds.upper["I"][-1]),
+    }
+
+
+def bench_fig6_ensemble(smoke: bool, backend: str) -> dict:
+    """The fig6 finite-``N`` ensemble sweep on one backend."""
+    population_size = 100 if smoke else 1000
+    n_runs = 4 if smoke else 16
+    thetas = [1.0, 10.0] if smoke else [1.0, 4.0, 7.0, 10.0]
+
+    def run():
+        return sweep_constant_ensembles(
+            make_sir_model, X0, population_size, thetas,
+            t_final=1.0 if smoke else 3.0, n_runs=n_runs,
+            seed=2016, n_samples=20, backend=backend,
+        )
+
+    results, first_s = timed(run)
+    steady_s, _ = best_of(run, 1)
+    return {
+        "first_call_seconds": round(first_s, 6),
+        "steady_seconds": round(steady_s, 6),
+        "total_events": int(sum(batch.n_events for batch in results)),
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller ladders, no speedup "
+                             "floor)")
+    args = parser.parse_args(argv)
+
+    telemetry.enable()
+    telemetry.clear()
+    backends = available_backends()
+    summary = {
+        "backends": {},
+        "numba_available": "numba" in backends,
+        "smoke": bool(args.smoke),
+        "recorded_unix": int(time.time()),
+    }
+    for backend in backends:
+        entry = {
+            "fig2_ladder": bench_fig2_ladder(args.smoke, backend),
+            "fig6_ensemble": bench_fig6_ensemble(args.smoke, backend),
+        }
+        summary["backends"][backend] = entry
+        fig2 = entry["fig2_ladder"]
+        print(f"{backend}: fig2 first {fig2['first_call_seconds']:.3f}s  "
+              f"steady {fig2['steady_seconds']:.3f}s  "
+              f"fig6 steady "
+              f"{entry['fig6_ensemble']['steady_seconds']:.3f}s")
+
+    if summary["numba_available"]:
+        ref = summary["backends"]["numpy"]
+        jit = summary["backends"]["numba"]
+        speedups = {
+            "fig2_ladder": round(
+                ref["fig2_ladder"]["steady_seconds"]
+                / jit["fig2_ladder"]["steady_seconds"], 3
+            ),
+            "fig6_ensemble": round(
+                ref["fig6_ensemble"]["steady_seconds"]
+                / jit["fig6_ensemble"]["steady_seconds"], 3
+            ),
+        }
+        summary["numba_speedup"] = speedups
+        print(f"numba speedup: fig2 {speedups['fig2_ladder']:.2f}x  "
+              f"fig6 {speedups['fig6_ensemble']:.2f}x")
+        if not args.smoke:
+            assert speedups["fig2_ladder"] >= FIG2_NUMBA_FLOOR, (
+                f"fig2 ladder numba speedup {speedups['fig2_ladder']:.2f}x "
+                f"below the {FIG2_NUMBA_FLOOR:.1f}x floor"
+            )
+    else:
+        print("numba not installed: numpy-only baseline recorded")
+
+    counters = telemetry.snapshot()["counters"]
+    summary["metrics"] = {
+        name: value for name, value in sorted(counters.items())
+        if name.startswith("backend.")
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_PATH.write_text(json.dumps(summary, indent=1, sort_keys=True)
+                          + "\n")
+    telemetry.save_snapshot(TELEMETRY_PATH, telemetry.snapshot())
+    print(f"wrote {BENCH_PATH} and {TELEMETRY_PATH}")
+    telemetry.disable()
+    telemetry.clear()
+    return summary
+
+
+if __name__ == "__main__":
+    main()

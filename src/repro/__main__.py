@@ -6,10 +6,12 @@ Subcommands:
 - ``describe NAME`` — the full declarative spec (model, questions,
   cache key);
 - ``run NAME [--no-cache] [--refresh] [--processes N] [--cache-dir D]
-  [--trace] [--metrics-out F] [--trace-out F]`` — execute (or recall)
-  every question and print the rendered result plus the run report with
-  its cache-hit counter; the telemetry flags print the span tree, dump
-  the metrics snapshot and export a ``chrome://tracing`` timeline;
+  [--backend B] [--trace] [--metrics-out F] [--trace-out F]`` — execute
+  (or recall) every question and print the rendered result plus the run
+  report with its cache-hit counter; ``--backend`` selects the
+  compiled-array backend (see :mod:`repro.backend`) for the whole run;
+  the telemetry flags print the span tree, dump the metrics snapshot
+  and export a ``chrome://tracing`` timeline;
 - ``clear-cache [NAME] [--cache-dir D]`` — drop cached artifacts;
 - ``lint [--strict] [--format=text|json] [--root D] [--no-registry]
   [--rules]`` — the repo's static-analysis gate (AST rules + registry
@@ -65,21 +67,32 @@ def _cmd_run(args) -> int:
     from repro.scenarios import cache_path, run_scenario
 
     spec = _lookup(args.name)
-    if args.refresh:
-        # Unlink by content hash, not by stored name: the lookup is
-        # content-addressed, so this is the entry a run would be served.
-        cache_path(spec, args.cache_dir).unlink(missing_ok=True)
     observing = args.trace or args.metrics_out or args.trace_out
     if observing:
         from repro import telemetry
 
         telemetry.enable()
         telemetry.clear()
+    if args.backend is not None:
+        # Make the choice the process default too, so kernels resolved
+        # outside the runner's explicit threading (helpers, plotting)
+        # agree with the run; unknown/missing names warn and fall back
+        # to numpy here, before any work starts.  Resolved after the
+        # telemetry switch so the resolve/fallback counters land in the
+        # run's snapshot.
+        from repro.backend import resolve_backend, set_backend
+
+        set_backend(resolve_backend(args.backend))
+    if args.refresh:
+        # Unlink by content hash, not by stored name: the lookup is
+        # content-addressed, so this is the entry a run would be served.
+        cache_path(spec, args.cache_dir).unlink(missing_ok=True)
     run = run_scenario(
         spec,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         processes=args.processes,
+        backend=args.backend,
     )
     print(run.result.render())
     print()
@@ -147,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--cache-dir", default=None,
                        help="cache directory (default $REPRO_CACHE_DIR "
                             "or ~/.cache/repro-scenarios)")
+    p_run.add_argument("--backend", default=None, metavar="NAME",
+                       help="compiled-array backend for the run "
+                            "(numpy, numba, ...); unknown or missing "
+                            "backends warn and fall back to numpy")
     p_run.add_argument("--trace", action="store_true",
                        help="enable telemetry and print the span tree")
     p_run.add_argument("--metrics-out", default=None, metavar="PATH",

@@ -1,0 +1,48 @@
+"""``repro.backend`` — the pluggable compiled-array backend seam.
+
+Every batch primitive in the library (model drift/affine/Jacobian
+stacks, the lockstep and adaptive ODE stage math, the credal row
+knapsacks) dispatches through an :class:`ArrayBackend`.  The ``numpy``
+backend is always available and bit-identical to calling the kernels
+directly; the ``numba`` backend JIT-compiles them when numba is
+installed; a JAX ``vmap``+``jit`` backend slots into the same registry.
+
+Select a backend with :func:`set_backend`, the ``REPRO_BACKEND``
+environment variable, or ``python -m repro run --backend=NAME``;
+see :func:`resolve_backend` for the precedence.  Unknown or missing
+backends warn and degrade to numpy — selection never crashes.
+"""
+
+from repro.backend.core import (
+    BACKEND_ENV_VAR,
+    ArrayBackend,
+    ModelKernels,
+    available_backends,
+    get_backend,
+    kernel_compilable,
+    register_backend,
+    registered_backends,
+    reset_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.backend.numba_backend import NumbaBackend
+from repro.backend.numpy_backend import NumpyBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BACKEND_ENV_VAR",
+    "ModelKernels",
+    "NumbaBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "kernel_compilable",
+    "register_backend",
+    "registered_backends",
+    "reset_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]

@@ -1,0 +1,383 @@
+"""The array-backend seam: resolution, kernel compilation, model kernels.
+
+Every hot path of the library funnels through a small set of batch
+primitives (``drift_batch``, ``affine_parts_batch``, ``jacobian_x_batch``,
+the lockstep/adaptive ODE stage math, the credal row knapsacks).  An
+:class:`ArrayBackend` is the substrate those primitives execute on: it
+owns an array namespace (:attr:`ArrayBackend.xp`), a kernel-compilation
+hook (:meth:`ArrayBackend.compile_kernel`) and a per-model compiled
+kernel cache (:meth:`ArrayBackend.model_kernels`).
+
+The ``numpy`` backend is always available and is the *reference*: its
+``compile_kernel`` is the identity and its model kernels are the model's
+own (validated) batch methods, so routing through the seam is
+bit-identical to calling the kernels directly.  Accelerated backends
+(``numba`` today; a JAX ``vmap``+``jit`` backend slots into the same
+registry) compile semantically-equivalent kernels and are
+tolerance-pinned against the numpy path by the differential suites.
+
+Resolution order (first match wins):
+
+1. an explicit ``backend=`` argument on the public entry points
+   (a name, or an :class:`ArrayBackend` instance);
+2. the process default installed by :func:`set_backend`;
+3. the ``REPRO_BACKEND`` environment variable, read once per process;
+4. ``numpy``.
+
+A requested backend that is unknown or not importable **never crashes**:
+resolution warns, stamps the ``backend.fallback`` /
+``backend.fallback.<name>`` counters and degrades to numpy.
+"""
+
+from __future__ import annotations
+
+import os
+import types
+import warnings
+import weakref
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = [
+    "ArrayBackend",
+    "ModelKernels",
+    "available_backends",
+    "get_backend",
+    "kernel_compilable",
+    "register_backend",
+    "registered_backends",
+    "reset_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: Environment variable naming the process-default backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class ModelKernels:
+    """The compiled batch kernels of one model on one backend.
+
+    Attributes
+    ----------
+    backend_name:
+        Name of the backend the kernels were compiled on.
+    drift:
+        ``(x, theta) -> (n, d)`` raw (unclamped) batched drift; the
+        compiled analogue of
+        :meth:`~repro.population.PopulationModel.drift_batch`.
+    rates:
+        ``(x, theta) -> (n, n_transitions)`` clamped batched rates; the
+        compiled analogue of
+        :meth:`~repro.population.PopulationModel.transition_rates_batch`.
+    affine:
+        ``x -> (g0s, Gs)`` batched affine decomposition (raises
+        ``ValueError`` for models without one, exactly like
+        :meth:`~repro.population.PopulationModel.affine_parts_batch`).
+    jacobian:
+        ``(x, theta) -> (n, d, d)`` batched drift Jacobians.
+    """
+
+    __slots__ = ("backend_name", "drift", "rates", "affine", "jacobian")
+
+    def __init__(self, backend_name: str, drift: Callable, rates: Callable,
+                 affine: Callable, jacobian: Callable):
+        self.backend_name = backend_name
+        self.drift = drift
+        self.rates = rates
+        self.affine = affine
+        self.jacobian = jacobian
+
+    def __repr__(self) -> str:
+        return f"ModelKernels(backend={self.backend_name!r})"
+
+
+class ArrayBackend:
+    """Base class of the backend seam (the numpy reference semantics).
+
+    Subclasses override :meth:`_compile` (turn one pure-array kernel
+    function into its compiled form) and/or :meth:`_build_model_kernels`
+    (compile a model's batch declarations).  Both are memoized here —
+    kernels compile once per process per backend, models once per
+    ``(model, backend)`` pair — which is what "compiled once and
+    memoized on the backend" means throughout the library docs.
+    """
+
+    #: Registry name; subclasses must override.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._kernel_cache: Dict[object, Callable] = {}
+        # Keyed by the model object itself; a model garbage-collected by
+        # the caller must not pin its compiled kernels alive.
+        self._model_cache: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # -- capability ----------------------------------------------------
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether the backend's substrate is importable here."""
+        return True
+
+    @property
+    def xp(self):
+        """The array namespace kernels are written against."""
+        return np
+
+    # -- kernel compilation -------------------------------------------
+
+    def compile_kernel(self, fn: Callable, key: Optional[str] = None) -> Callable:
+        """Compile (and memoize) one pure-array kernel function.
+
+        ``key`` names the kernel for the compile cache and for telemetry;
+        accelerated backends may also use it to substitute a
+        semantically-equivalent implementation better suited to their
+        substrate (e.g. an explicit-loop knapsack instead of the
+        fancy-indexing reference).  Defaults to caching on the function
+        object itself.
+        """
+        cache_key = key if key is not None else fn
+        cached = self._kernel_cache.get(cache_key)
+        if cached is None:
+            cached = self._compile(fn, key)
+            self._kernel_cache[cache_key] = cached
+        telemetry.inc(f"backend.{self.name}.kernel_dispatch")
+        return cached
+
+    def _compile(self, fn: Callable, key: Optional[str]) -> Callable:
+        return fn
+
+    # -- model kernels -------------------------------------------------
+
+    def model_kernels(self, model) -> ModelKernels:
+        """The model's batch kernels compiled on this backend (memoized)."""
+        kernels = self._model_cache.get(model)
+        if kernels is None:
+            kernels = self._build_model_kernels(model)
+            self._model_cache[model] = kernels
+        telemetry.inc(f"backend.{self.name}.model_kernel_dispatch")
+        return kernels
+
+    def _build_model_kernels(self, model) -> ModelKernels:
+        # The reference kernels *are* the model's batch methods — the
+        # numpy path through the seam is the direct call, bit for bit.
+        # Kernel slots the model does not implement (duck-typed models
+        # such as the Kolmogorov system expose only drift/affine) stay
+        # ``None``; consumers that need them must check.
+        return ModelKernels(
+            backend_name=self.name,
+            drift=model.drift_batch,
+            rates=getattr(model, "transition_rates_batch", None),
+            affine=getattr(model, "affine_parts_batch", None),
+            jacobian=getattr(model, "jacobian_x_batch", None),
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ----------------------------------------------------------------------
+# Registry and resolution
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, type] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+_ACTIVE: Optional[ArrayBackend] = None
+_ENV_READ = False
+
+
+def register_backend(name: str, cls: type) -> None:
+    """Register an :class:`ArrayBackend` subclass under ``name``."""
+    if not (isinstance(cls, type) and issubclass(cls, ArrayBackend)):
+        raise TypeError("backend class must subclass ArrayBackend")
+    _REGISTRY[str(name)] = cls
+
+
+def registered_backends() -> List[str]:
+    """All registered backend names (available or not)."""
+    return sorted(_REGISTRY)
+
+
+def available_backends() -> List[str]:
+    """Registered backend names whose substrate imports here."""
+    return [name for name in sorted(_REGISTRY) if _REGISTRY[name].available()]
+
+
+def _fallback(name: str, reason: str) -> ArrayBackend:
+    warnings.warn(
+        f"backend {name!r} {reason}; falling back to numpy",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+    telemetry.inc("backend.fallback")
+    telemetry.inc(f"backend.fallback.{name}")
+    return _instantiate("numpy")
+
+
+def _instantiate(name: str) -> ArrayBackend:
+    """Instantiate (and cache) a backend by name, degrading to numpy."""
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        return _fallback(name, f"is not registered (known: {registered_backends()})")
+    if not cls.available():
+        return _fallback(name, "is not installed in this environment")
+    instance = cls()
+    _INSTANCES[name] = instance
+    telemetry.inc(f"backend.resolve.{name}")
+    return instance
+
+
+def set_backend(backend: Union[str, ArrayBackend]) -> ArrayBackend:
+    """Install the process-default backend; returns the resolved instance.
+
+    Accepts a registered name or a ready instance.  An unknown or
+    missing name warns and installs numpy (the seam never crashes on
+    backend selection).
+    """
+    global _ACTIVE, _ENV_READ
+    if isinstance(backend, ArrayBackend):
+        _ACTIVE = backend
+    else:
+        _ACTIVE = _instantiate(str(backend))
+    _ENV_READ = True  # an explicit choice outranks the environment
+    return _ACTIVE
+
+
+def get_backend() -> ArrayBackend:
+    """The process-default backend (env-resolved once, numpy otherwise)."""
+    global _ACTIVE, _ENV_READ
+    if _ACTIVE is None:
+        requested = os.environ.get(BACKEND_ENV_VAR) if not _ENV_READ else None
+        _ENV_READ = True
+        _ACTIVE = _instantiate(requested) if requested else _instantiate("numpy")
+    return _ACTIVE
+
+
+def reset_backend() -> None:
+    """Forget the process default (the next resolve re-reads the env).
+
+    A test hook: the library itself resolves once per process.
+    """
+    global _ACTIVE, _ENV_READ
+    _ACTIVE = None
+    _ENV_READ = False
+
+
+def resolve_backend(
+    backend: Union[None, str, ArrayBackend] = None,
+) -> ArrayBackend:
+    """Resolve an optional ``backend=`` argument to an instance.
+
+    ``None`` means the process default; a string resolves through the
+    registry (warn-and-fallback on unknown/missing names); an instance
+    passes through.
+    """
+    if backend is None:
+        return get_backend()
+    if isinstance(backend, ArrayBackend):
+        return backend
+    return _instantiate(str(backend))
+
+
+@contextmanager
+def use_backend(backend: Union[str, ArrayBackend]):
+    """Temporarily install a process-default backend (tests, benches)."""
+    global _ACTIVE, _ENV_READ
+    previous, previous_env = _ACTIVE, _ENV_READ
+    try:
+        yield set_backend(backend)
+    finally:
+        _ACTIVE, _ENV_READ = previous, previous_env
+
+
+# ----------------------------------------------------------------------
+# Compilability contract (REG005)
+# ----------------------------------------------------------------------
+
+_ALLOWED_SCALARS = (bool, int, float, complex, str, bytes, type(None))
+_ALLOWED_MODULES = ("numpy", "math")
+
+
+def _value_compilable(value, seen, depth) -> Tuple[bool, str]:
+    if isinstance(value, _ALLOWED_SCALARS) or isinstance(
+        value, (np.ndarray, np.generic)
+    ):
+        return True, ""
+    if isinstance(value, types.ModuleType):
+        root = value.__name__.split(".", 1)[0]
+        if root in _ALLOWED_MODULES:
+            return True, ""
+        return False, f"module {value.__name__!r} is not a compiled-array namespace"
+    if isinstance(value, np.ufunc) or (
+        callable(value)
+        and getattr(value, "__module__", "").split(".", 1)[0] in _ALLOWED_MODULES
+    ):
+        return True, ""
+    if isinstance(value, tuple):
+        for item in value:
+            ok, reason = _value_compilable(item, seen, depth)
+            if not ok:
+                return False, reason
+        return True, ""
+    if isinstance(value, (list, dict, set)):
+        return False, (
+            f"captures a mutable Python container ({type(value).__name__})"
+        )
+    if isinstance(value, types.FunctionType):
+        return _fn_compilable(value, seen, depth + 1)
+    return False, f"captures a Python object of type {type(value).__name__}"
+
+
+def _fn_compilable(fn, seen, depth) -> Tuple[bool, str]:
+    if depth > 5:
+        return False, "helper-function nesting too deep to verify"
+    if id(fn) in seen:
+        return True, ""
+    seen.add(id(fn))
+    if not isinstance(fn, types.FunctionType):
+        return False, (
+            f"{fn!r} is not a plain Python function (got {type(fn).__name__})"
+        )
+    code = fn.__code__
+    closure = fn.__closure__ or ()
+    for name, cell in zip(code.co_freevars, closure):
+        try:
+            value = cell.cell_contents
+        except ValueError:
+            return False, f"free variable {name!r} is unbound"
+        ok, reason = _value_compilable(value, seen, depth)
+        if not ok:
+            return False, f"free variable {name!r}: {reason}"
+    for name in code.co_names:
+        if name in fn.__globals__:
+            ok, reason = _value_compilable(fn.__globals__[name], seen, depth)
+            if not ok:
+                return False, f"global {name!r}: {reason}"
+    return True, ""
+
+
+def kernel_compilable(fn: Callable) -> Tuple[bool, str]:
+    """Whether a batch-kernel declaration is backend-compilable.
+
+    The contract (REG005 of the registry audit): a kernel must be a
+    plain Python function whose captured state — closure cells and
+    referenced globals — is nothing but numbers, strings, numpy arrays,
+    the numpy/math namespaces and helper functions satisfying the same
+    contract.  Capturing arbitrary Python objects (models, dicts, open
+    handles, foreign modules) makes the kernel uncompilable on an
+    accelerated backend, silently pinning every consumer to the slow
+    path.
+
+    Returns ``(ok, reason)`` with ``reason`` empty when ``ok``.
+    """
+    return _fn_compilable(fn, set(), 0)

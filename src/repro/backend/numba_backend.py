@@ -1,0 +1,367 @@
+"""The opt-in numba JIT backend: ``njit``-compiled batch kernels.
+
+Everything here is *guarded*: numba is imported lazily (the module
+imports cleanly in a pure-numpy environment), kernels are compiled at
+first call, and any typing/lowering failure — or a first-call
+disagreement with the numpy reference beyond JIT-reassociation
+tolerance — warns, stamps the ``backend.numba.fallbacks`` counter and
+permanently reroutes that kernel to the reference implementation.  A
+numba backend therefore never makes a computation *wrong or crashing*,
+only (in the worst case) no faster than numpy.
+
+Compile accounting: ``backend.numba.compile.count`` counts new
+specializations (one per kernel signature) and
+``backend.numba.compile.seconds`` observes the wall time of the calls
+that triggered them (compile plus the first execution — the "first call
+is slow" cost benchmarks report separately).
+
+Model kernels are built from the model's own batch declarations
+(:meth:`~repro.population.PopulationModel.batch_kernel_declarations`):
+per-transition rate functions are individually ``njit``-ed and folded
+into a single compiled drift chain that preserves the reference
+accumulation order, and the declared affine/Jacobian batch kernels are
+compiled directly.  The REG005 registry-audit contract
+(:func:`repro.backend.kernel_compilable`) exists precisely so these
+declarations stay compilable.
+
+Some reference kernels are numpy-idiomatic in ways numba does not
+support (``np.tensordot``, ``np.mean(axis=...)``, fancy-indexed
+knapsacks); for those, :data:`_OVERRIDES` maps the kernel key to a
+semantically-equivalent explicit-loop form that is compiled instead.
+The overrides are tolerance-pinned (not bit-pinned) against the
+reference by the differential suites.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.backend.core import ArrayBackend, ModelKernels, register_backend
+
+__all__ = ["NumbaBackend"]
+
+#: Relative/absolute tolerance of the first-call cross-check against the
+#: numpy reference (JIT compilation may reassociate float arithmetic).
+_CHECK_RTOL = 1e-9
+_CHECK_ATOL = 1e-12
+
+
+def _numba():
+    try:
+        import numba
+    except ImportError:
+        return None
+    return numba
+
+
+def _fallback_event(key: str, why: str) -> None:
+    warnings.warn(
+        f"numba backend: kernel {key!r} fell back to numpy ({why})",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+    telemetry.inc("backend.numba.fallbacks")
+    telemetry.inc(f"backend.numba.fallbacks.{key}")
+
+
+def _signature_count(jitted) -> int:
+    sigs = getattr(jitted, "signatures", None)
+    return len(sigs) if sigs is not None else 0
+
+
+class _GuardedKernel:
+    """A jitted kernel with a permanent per-kernel numpy escape hatch."""
+
+    __slots__ = ("key", "_jitted", "_reference", "_use_reference")
+
+    def __init__(self, key: str, jitted: Callable, reference: Callable):
+        self.key = key
+        self._jitted = jitted
+        self._reference = reference
+        self._use_reference = False
+
+    def __call__(self, *args):
+        if self._use_reference:
+            return self._reference(*args)
+        before = _signature_count(self._jitted)
+        start = time.perf_counter()
+        try:
+            out = self._jitted(*args)
+        except Exception as exc:  # repro: noqa[REP002] - _fallback_event warns and stamps the fallback counter
+            _fallback_event(self.key, f"{type(exc).__name__}: {exc}")
+            self._use_reference = True
+            return self._reference(*args)
+        after = _signature_count(self._jitted)
+        if after > before:
+            telemetry.inc("backend.numba.compile.count", after - before)
+            telemetry.observe(
+                "backend.numba.compile.seconds", time.perf_counter() - start
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Explicit-loop equivalents of numpy-idiomatic reference kernels
+# ----------------------------------------------------------------------
+
+def _dp_stage_sum_loops(coeffs, stages):
+    """``np.tensordot(coeffs, stages, axes=(0, 0))`` as an explicit fold."""
+    out = coeffs[0] * stages[0]
+    for j in range(1, coeffs.shape[0]):
+        out = out + coeffs[j] * stages[j]
+    return out
+
+
+def _rms_norm_loops(v):
+    """Row-wise RMS norm (``np.mean(axis=1)`` is unsupported in njit)."""
+    n, d = v.shape
+    out = np.empty(n)
+    for i in range(n):
+        acc = 0.0
+        for j in range(d):
+            acc += v[i, j] * v[i, j]
+        out[i] = np.sqrt(acc / d)
+    return out
+
+
+def _knapsack_rows_loops(lower, room, slack0, order):
+    """Explicit-loop credal row knapsack (matches the vectorized fill).
+
+    Mirrors the reference semantics exactly: the slack chain subtracts
+    the *full* room of every visited column (not the clipped take), and
+    the returned leftover is the final chain value, so the feasibility
+    check in the caller sees identical numbers.
+    """
+    m = order.shape[0]
+    n = lower.shape[0]
+    rows = np.empty((m, n, n))
+    leftover = np.empty((m, n))
+    for a in range(m):
+        for i in range(n):
+            slack = slack0[i]
+            for jj in range(n):
+                j = order[a, jj]
+                take = slack
+                if take < 0.0:
+                    take = 0.0
+                if take > room[i, j]:
+                    take = room[i, j]
+                rows[a, i, j] = lower[i, j] + take
+                slack -= room[i, j]
+            leftover[a, i] = slack
+    return rows, leftover
+
+
+#: Kernel-key -> njit-friendly replacement compiled *instead of* the
+#: reference function (same signature, same semantics, loop idiom).
+_OVERRIDES: Dict[str, Callable] = {
+    "ode.dp_stage_sum": _dp_stage_sum_loops,
+    "ode.rms_norm": _rms_norm_loops,
+    "ctmc.knapsack_rows": _knapsack_rows_loops,
+}
+
+
+# ----------------------------------------------------------------------
+# Model kernels
+# ----------------------------------------------------------------------
+
+class _ModelKernelGuard:
+    """Shared compile/validate/fallback state for one model's kernels."""
+
+    __slots__ = ("label", "compiled", "checked", "failed")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.compiled = False
+        self.checked = False
+        self.failed = False
+
+    def run(self, compiled_call, reference_call, compare=None):
+        """Run the compiled form, cross-checking its first result.
+
+        ``reference_call`` is only evaluated on failure or for the
+        one-time check; after a clean first call the compiled path runs
+        alone.  Any exception or tolerance violation trips the
+        permanent fallback.
+        """
+        if self.failed:
+            return reference_call()
+        start = time.perf_counter()
+        try:
+            out = compiled_call()
+        except FloatingPointError:
+            # Bad *data* (NaN rates), not a bad kernel: let the
+            # reference path produce its canonical error, keep the
+            # compiled path armed for the next batch.
+            return reference_call()
+        except Exception as exc:  # repro: noqa[REP002] - _fallback_event warns and stamps the fallback counter
+            _fallback_event(self.label, f"{type(exc).__name__}: {exc}")
+            self.failed = True
+            return reference_call()
+        if not self.compiled:
+            self.compiled = True
+            telemetry.inc("backend.numba.compile.count")
+            telemetry.observe(
+                "backend.numba.compile.seconds", time.perf_counter() - start
+            )
+        if not self.checked:
+            self.checked = True
+            reference = reference_call()
+            agree = compare(out, reference) if compare is not None else (
+                np.allclose(out, reference, rtol=_CHECK_RTOL, atol=_CHECK_ATOL)
+            )
+            if not agree:
+                _fallback_event(self.label, "first-call cross-check mismatch")
+                self.failed = True
+                return reference
+        return out
+
+
+def _pair_close(got, want) -> bool:
+    return np.allclose(got[0], want[0], rtol=_CHECK_RTOL, atol=_CHECK_ATOL) \
+        and np.allclose(got[1], want[1], rtol=_CHECK_RTOL, atol=_CHECK_ATOL)
+
+
+class NumbaBackend(ArrayBackend):
+    """``njit``-compiled kernels with guarded fallback to numpy."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        super().__init__()
+        nb = _numba()
+        if nb is None:
+            raise RuntimeError(
+                "numba is not importable; resolve_backend() should have "
+                "fallen back to numpy before instantiating this backend"
+            )
+        self._njit = nb.njit(cache=False, fastmath=False)
+
+    @classmethod
+    def available(cls) -> bool:
+        return _numba() is not None
+
+    # -- generic kernels ----------------------------------------------
+
+    def _compile(self, fn: Callable, key: Optional[str]) -> Callable:
+        target = _OVERRIDES.get(key, fn) if key is not None else fn
+        label = key if key is not None else getattr(fn, "__name__", "kernel")
+        return _GuardedKernel(label, self._njit(target), fn)
+
+    # -- model kernels -------------------------------------------------
+
+    def _build_model_kernels(self, model) -> ModelKernels:
+        if not hasattr(model, "transitions"):
+            # Duck-typed model-like objects (e.g. the Kolmogorov ODE
+            # system) declare no transition structure to compile; their
+            # reference batch methods are the kernels.
+            return super()._build_model_kernels(model)
+        rate_jits = tuple(self._njit(tr.rate) for tr in model.transitions)
+        changes = tuple(
+            np.asarray(tr.change, dtype=float) for tr in model.transitions
+        )
+        chain = self._drift_chain(rate_jits, changes)
+        label = f"model.{model.name}"
+
+        drift_guard = _ModelKernelGuard(f"{label}.drift")
+
+        def drift(x, theta):
+            x2 = np.atleast_2d(np.asarray(x, dtype=float))
+            th2 = np.atleast_2d(np.asarray(theta, dtype=float))
+            return drift_guard.run(
+                lambda: chain(x2.T, th2.T),
+                lambda: model.drift_batch(x2, th2),
+            )
+
+        rates_guard = _ModelKernelGuard(f"{label}.rates")
+        n_tr = len(model.transitions)
+
+        def rates(x, theta):
+            x2 = np.atleast_2d(np.asarray(x, dtype=float))
+            th2 = np.atleast_2d(np.asarray(theta, dtype=float))
+
+            def compiled():
+                out = np.empty((x2.shape[0], n_tr))
+                x_t, th_t = x2.T, th2.T
+                for j, jit_rate in enumerate(rate_jits):
+                    out[:, j] = jit_rate(x_t, th_t)
+                np.maximum(out, 0.0, out=out)
+                if np.isnan(out).any():
+                    # Delegate NaN handling (and its error message) to
+                    # the reference path.
+                    raise FloatingPointError("NaN rate in compiled batch")
+                return out
+
+            return rates_guard.run(
+                compiled, lambda: model.transition_rates_batch(x2, th2)
+            )
+
+        decls = model.batch_kernel_declarations()
+        affine_decl = decls.get("affine_drift_batch")
+        if affine_decl is None:
+            affine = model.affine_parts_batch
+        else:
+            affine_jit = self._njit(affine_decl)
+            affine_guard = _ModelKernelGuard(f"{label}.affine")
+
+            def affine(x):
+                x2 = np.atleast_2d(np.asarray(x, dtype=float))
+                return affine_guard.run(
+                    lambda: affine_jit(x2),
+                    lambda: model.affine_parts_batch(x2),
+                    compare=_pair_close,
+                )
+
+        jac_decl = decls.get("drift_jacobian_batch")
+        if jac_decl is None:
+            jacobian = model.jacobian_x_batch
+        else:
+            jac_jit = self._njit(jac_decl)
+            jac_guard = _ModelKernelGuard(f"{label}.jacobian")
+
+            def jacobian(x, theta):
+                x2 = np.atleast_2d(np.asarray(x, dtype=float))
+                th2 = np.atleast_2d(np.asarray(theta, dtype=float))
+                return jac_guard.run(
+                    lambda: np.asarray(jac_jit(x2, th2), dtype=float),
+                    lambda: model.jacobian_x_batch(x2, th2),
+                )
+
+        telemetry.inc("backend.numba.model_kernels.built")
+        return ModelKernels(
+            backend_name=self.name,
+            drift=drift,
+            rates=rates,
+            affine=affine,
+            jacobian=jacobian,
+        )
+
+    def _drift_chain(self, rate_jits, changes) -> Callable:
+        """Fold the per-transition terms into one compiled drift kernel.
+
+        The left fold reproduces the reference accumulation order of
+        ``out += vals[:, None] * change[None, :]`` term by term; inputs
+        are coordinate-major (``x.T``/``theta.T``) exactly like the
+        reference rate evaluation.
+        """
+        chain = None
+        for jit_rate, change in zip(rate_jits, changes):
+            if chain is None:
+                def term(x_t, theta_t, _rate=jit_rate, _change=change):
+                    return np.outer(_rate(x_t, theta_t), _change)
+            else:
+                def term(x_t, theta_t, _prev=chain, _rate=jit_rate,
+                         _change=change):
+                    return _prev(x_t, theta_t) + np.outer(
+                        _rate(x_t, theta_t), _change
+                    )
+            chain = self._njit(term)
+        return chain
+
+
+register_backend("numba", NumbaBackend)

@@ -1,0 +1,22 @@
+"""The always-available reference backend: plain numpy, zero wrapping.
+
+``compile_kernel`` is the identity and ``model_kernels`` returns the
+model's own bound batch methods, so every seam call site degenerates to
+the direct numpy call — bit-identical by construction, which is what the
+differential suites pin.
+"""
+
+from __future__ import annotations
+
+from repro.backend.core import ArrayBackend, register_backend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    """The identity backend (inherits the reference semantics wholesale)."""
+
+    name = "numpy"
+
+
+register_backend("numpy", NumpyBackend)

@@ -162,6 +162,7 @@ def hull_vector_field(
     refine: bool = False,
     theta_method: str = "auto",
     batch: bool = True,
+    backend=None,
 ):
     """The autonomous hull pair field ``(t, z) -> dz`` on ``z = (xlo, xhi)``.
 
@@ -172,7 +173,8 @@ def hull_vector_field(
     parameter semantics.
     """
     d = model.dim
-    extremizer = DriftExtremizer(model, method=theta_method, batch=batch)
+    extremizer = DriftExtremizer(model, method=theta_method, batch=batch,
+                                 backend=backend)
 
     use_masks = batch and x_samples_per_axis <= 2
     if use_masks:
@@ -265,6 +267,7 @@ def differential_hull_bounds(
     atol: float = 1e-9,
     blowup_threshold: float = 100.0,
     batch: bool = True,
+    backend=None,
 ) -> HullBounds:
     """Integrate the differential hull of the model's mean-field inclusion.
 
@@ -313,6 +316,7 @@ def differential_hull_bounds(
         refine=refine,
         theta_method=theta_method,
         batch=batch,
+        backend=backend,
     )
 
     z0 = np.concatenate([x0, x0])

@@ -46,6 +46,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro import telemetry
+from repro.backend import resolve_backend
 
 __all__ = ["IntervalDTMC", "random_interval_dtmc"]
 
@@ -54,6 +55,48 @@ __all__ = ["IntervalDTMC", "random_interval_dtmc"]
 #: tolerance (``sum(lower)`` marginally above 1, ``sum(upper)``
 #: marginally below) would otherwise leak out sub-/super-stochastic.
 _ROW_SUM_TOL = 1e-12
+
+
+def _knapsack_rows(lower, room, slack0, order):
+    """The batched fractional-knapsack core: fill rows in reward order.
+
+    Parameters are the per-entry lower bounds ``(n, n)``, the per-entry
+    room ``upper - lower`` ``(n, n)``, the initial slack
+    ``1 - sum(lower)`` per row ``(n,)`` and the fill order ``(m, n)``
+    (one coordinate permutation per reward vector).  Returns the
+    ``(m, n, n)`` extremising rows (unnormalised, in original column
+    positions) and the ``(m, n)`` final leftover slack the caller
+    checks for feasibility.
+
+    ``np.subtract.accumulate`` reproduces the legacy scalar loop's
+    sequential slack updates rounding step by rounding step; this is
+    the backend seam's reference kernel (key ``ctmc.knapsack_rows``)
+    and accelerated backends substitute an explicit-loop form with the
+    same subtraction order.
+    """
+    m, n = order.shape[0], lower.shape[0]
+    # Rooms permuted into each reward's fill order: (m, n, n).
+    room_perm = np.swapaxes(np.take(room, order, axis=1), 0, 1)
+    chain = np.concatenate(
+        [np.broadcast_to(slack0[None, :, None], (m, n, 1)), room_perm],
+        axis=2,
+    )
+    # slack_seq[..., j] is the slack left before filling the j-th
+    # coordinate in order (sequential subtraction, not a cumsum —
+    # same rounding as the scalar loop); the final entry is the
+    # slack left after exhausting every room.
+    slack_seq = np.subtract.accumulate(chain, axis=2)
+    take = np.clip(slack_seq[:, :, :-1], 0.0, room_perm)
+    rows_sorted = np.take_along_axis(
+        np.broadcast_to(lower[None], (m, n, n)),
+        order[:, None, :], axis=2,
+    ) + take
+    rows = np.empty_like(rows_sorted)
+    np.put_along_axis(
+        rows, np.broadcast_to(order[:, None, :], rows.shape),
+        rows_sorted, axis=2,
+    )
+    return rows, slack_seq[:, :, -1]
 
 
 class IntervalDTMC:
@@ -132,7 +175,8 @@ class IntervalDTMC:
             p = p / total
         return p
 
-    def extreme_rows_batch(self, rewards, maximize: bool = True) -> np.ndarray:
+    def extreme_rows_batch(self, rewards, maximize: bool = True,
+                           backend=None) -> np.ndarray:
         """All ``n`` extreme rows for a stack of reward vectors at once.
 
         Parameters
@@ -141,6 +185,10 @@ class IntervalDTMC:
             One reward vector of shape ``(n,)`` or a stack ``(m, n)``.
         maximize:
             Extremise upward (the upper-expectation rows) or downward.
+        backend:
+            Optional :mod:`repro.backend` selection for the knapsack
+            kernel (``None`` uses the process default; the numpy
+            backend is the bit-identical reference).
 
         Returns
         -------
@@ -164,39 +212,22 @@ class IntervalDTMC:
         if telemetry.enabled():
             telemetry.inc("ctmc.credal.operator_calls")
             telemetry.inc("ctmc.credal.knapsack_rows", m * n)
+        kernel = resolve_backend(backend).compile_kernel(
+            _knapsack_rows, key="ctmc.knapsack_rows"
+        )
         order = np.argsort(-rewards if maximize else rewards, axis=1)
         room = self.upper - self.lower                       # (n, n), >= 0
         slack0 = 1.0 - self.lower.sum(axis=1)                # (n,)
-        # Rooms permuted into each reward's fill order: (m, n, n).
-        room_perm = np.swapaxes(np.take(room, order, axis=1), 0, 1)
-        chain = np.concatenate(
-            [np.broadcast_to(slack0[None, :, None], (m, n, 1)), room_perm],
-            axis=2,
-        )
-        # slack_seq[..., j] is the slack left before filling the j-th
-        # coordinate in order (sequential subtraction, not a cumsum —
-        # same rounding as the scalar loop); the final entry is the
-        # slack left after exhausting every room.
-        slack_seq = np.subtract.accumulate(chain, axis=2)
-        if np.any(slack_seq[:, :, -1] > 1e-9):
+        rows, leftover = kernel(self.lower, room, slack0, order)
+        if np.any(leftover > 1e-9):
             raise RuntimeError("credal set inconsistency: mass left over")
-        take = np.clip(slack_seq[:, :, :-1], 0.0, room_perm)
-        rows_sorted = np.take_along_axis(
-            np.broadcast_to(self.lower[None], (m, n, n)),
-            order[:, None, :], axis=2,
-        ) + take
-        rows = np.empty_like(rows_sorted)
-        np.put_along_axis(
-            rows, np.broadcast_to(order[:, None, :], rows.shape),
-            rows_sorted, axis=2,
-        )
         totals = rows.sum(axis=2)
         bad = np.abs(totals - 1.0) > _ROW_SUM_TOL
         if np.any(bad):
             rows = np.where(bad[:, :, None], rows / totals[:, :, None], rows)
         return rows[0] if single else rows
 
-    def upper_operator_batch(self, rewards) -> np.ndarray:
+    def upper_operator_batch(self, rewards, backend=None) -> np.ndarray:
         """``T̄`` applied to a stack of rewards: ``(m, n) -> (m, n)``.
 
         Also accepts a single ``(n,)`` vector (returning ``(n,)``).  The
@@ -207,11 +238,12 @@ class IntervalDTMC:
         rewards = np.asarray(rewards, dtype=float)
         single = rewards.ndim == 1
         stack = np.atleast_2d(rewards)
-        rows = self.extreme_rows_batch(stack, maximize=True)
+        rows = self.extreme_rows_batch(stack, maximize=True,
+                                       backend=backend)
         values = np.matmul(rows, stack[:, :, None])[:, :, 0]
         return values[0] if single else values
 
-    def expectation_bounds_batch(self, rewards, steps: int):
+    def expectation_bounds_batch(self, rewards, steps: int, backend=None):
         """``(lower, upper)`` expectations of a reward stack after ``steps``.
 
         Iterates the upper operator on the ``2m``-lane stack
@@ -229,16 +261,17 @@ class IntervalDTMC:
         m = stack.shape[0]
         value = np.concatenate([stack, -stack], axis=0)
         for _ in range(steps):
-            value = self.upper_operator_batch(value)
+            value = self.upper_operator_batch(value, backend=backend)
         upper = value[:m]
         lower = -value[m:]
         return (lower[0], upper[0]) if single else (lower, upper)
 
-    def upper_operator(self, reward, batch: bool = True) -> np.ndarray:
+    def upper_operator(self, reward, batch: bool = True,
+                       backend=None) -> np.ndarray:
         """One application of the upper-expectation operator ``T̄ r``."""
         reward = np.asarray(reward, dtype=float)
         if batch:
-            return self.upper_operator_batch(reward)
+            return self.upper_operator_batch(reward, backend=backend)
         # Legacy per-row knapsack loop; the final contraction is the
         # same matrix-vector product the batched kernel issues.
         rows = np.array(
@@ -247,15 +280,18 @@ class IntervalDTMC:
         )
         return rows @ reward
 
-    def lower_operator(self, reward, batch: bool = True) -> np.ndarray:
+    def lower_operator(self, reward, batch: bool = True,
+                       backend=None) -> np.ndarray:
         """One application of the lower-expectation operator."""
-        return -self.upper_operator(-np.asarray(reward, dtype=float), batch)
+        return -self.upper_operator(-np.asarray(reward, dtype=float), batch,
+                                    backend=backend)
 
     # ------------------------------------------------------------------
     # Finite-horizon expectations
     # ------------------------------------------------------------------
 
-    def upper_expectation(self, reward, steps: int, batch: bool = True) -> np.ndarray:
+    def upper_expectation(self, reward, steps: int, batch: bool = True,
+                          backend=None) -> np.ndarray:
         """Upper expectation of ``reward`` after ``steps`` transitions.
 
         Returns the per-starting-state vector ``T̄^k r``.
@@ -264,28 +300,29 @@ class IntervalDTMC:
             raise ValueError("steps must be non-negative")
         value = np.asarray(reward, dtype=float).copy()
         for _ in range(steps):
-            value = self.upper_operator(value, batch=batch)
+            value = self.upper_operator(value, batch=batch, backend=backend)
         return value
 
-    def lower_expectation(self, reward, steps: int, batch: bool = True) -> np.ndarray:
+    def lower_expectation(self, reward, steps: int, batch: bool = True,
+                          backend=None) -> np.ndarray:
         """Lower expectation of ``reward`` after ``steps`` transitions."""
         return -self.upper_expectation(-np.asarray(reward, dtype=float), steps,
-                                       batch=batch)
+                                       batch=batch, backend=backend)
 
     def expectation_bounds(
-        self, reward, steps: int, batch: bool = True,
+        self, reward, steps: int, batch: bool = True, backend=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """``(lower, upper)`` expectation vectors after ``steps`` steps."""
         if batch:
             return self.expectation_bounds_batch(
-                np.asarray(reward, dtype=float), steps
+                np.asarray(reward, dtype=float), steps, backend=backend
             )
         return (self.lower_expectation(reward, steps, batch=False),
                 self.upper_expectation(reward, steps, batch=False))
 
     def stationary_expectation_bounds(
         self, reward, tol: float = 1e-10, max_iter: int = 100_000,
-        batch: bool = True,
+        batch: bool = True, backend=None,
     ) -> Tuple[float, float]:
         """Long-run bounds on the expected reward (Škulj's limit regime).
 
@@ -306,9 +343,11 @@ class IntervalDTMC:
             converged = False
             for _ in range(max_iter):
                 if maximize:
-                    new_value = self.upper_operator(value, batch=batch)
+                    new_value = self.upper_operator(value, batch=batch,
+                                                    backend=backend)
                 else:
-                    new_value = self.lower_operator(value, batch=batch)
+                    new_value = self.lower_operator(value, batch=batch,
+                                                    backend=backend)
                 spread = float(new_value.max() - new_value.min())
                 delta = float(np.max(np.abs(new_value - value)))
                 value = new_value
@@ -327,7 +366,7 @@ class IntervalDTMC:
 
     def uniformized_bounds(
         self, rewards, horizon: float, rate: float,
-        tail_tol: float = 1e-12, batch: bool = True,
+        tail_tol: float = 1e-12, batch: bool = True, backend=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Poisson-mixed reward bounds at CTMC time ``horizon``.
 
@@ -366,7 +405,7 @@ class IntervalDTMC:
         mixed = weight * value
         for k in range(1, n_terms + 1):
             if batch:
-                value = self.upper_operator_batch(value)
+                value = self.upper_operator_batch(value, backend=backend)
             else:
                 value = np.stack([
                     self.upper_operator(lane, batch=False) for lane in value

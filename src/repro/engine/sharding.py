@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro import telemetry
+from repro.backend import resolve_backend
 from repro.engine.vectorized import simulate_ensemble
 from repro.simulation.batch import BatchResult
 
@@ -54,7 +55,9 @@ class _TimedCall:
 
 
 def map_shards(fn: Callable, payloads: Sequence,
-               processes: Optional[int] = None) -> List:
+               processes: Optional[int] = None,
+               initializer: Optional[Callable] = None,
+               initargs: tuple = ()) -> List:
     """Map ``fn`` over picklable payloads, optionally across a process pool.
 
     The shared fan-out primitive of the engine layer: results come back
@@ -66,26 +69,44 @@ def map_shards(fn: Callable, payloads: Sequence,
     be deterministic per payload (any randomness derived from a seed
     carried *inside* the payload).
 
+    ``initializer`` / ``initargs`` follow the :class:`multiprocessing.Pool`
+    contract: shard-invariant context (a model factory, a frozen sweep
+    configuration) is pickled **once per worker** instead of once per
+    payload, which is what keeps per-shard payloads small on wide
+    sweeps.  The serial path calls the initializer once in-process, so
+    ``fn`` sees the same worker-context protocol either way.
+
     With telemetry enabled, per-shard wall time and pickled payload
     size land on the registry as the ``engine.shard.seconds`` /
-    ``engine.shard.payload_bytes`` histograms.
+    ``engine.shard.payload_bytes`` histograms, and the one-time worker
+    context size on the ``engine.shard.shared_bytes`` histogram.
     """
     payloads = list(payloads)
     serial = processes is None or processes <= 1 or len(payloads) <= 1
     if not telemetry.enabled():
         if serial:
+            if initializer is not None:
+                initializer(*initargs)
             return [fn(p) for p in payloads]
         with multiprocessing.Pool(
-            processes=min(processes, len(payloads))
+            processes=min(processes, len(payloads)),
+            initializer=initializer, initargs=initargs,
         ) as pool:
             return pool.map(fn, payloads)
 
     with telemetry.span("engine.map_shards", shards=len(payloads),
                         processes=1 if serial else processes):
         payload_hist = telemetry.live_histogram("engine.shard.payload_bytes")
+        shared_hist = telemetry.live_histogram("engine.shard.shared_bytes")
         unpicklable = telemetry.live_counter(
             "engine.shard.unpicklable_payloads"
         )
+        if initializer is not None and shared_hist is not None:
+            try:
+                shared_hist.observe(len(pickle.dumps(initargs)))
+            except Exception:
+                if unpicklable is not None:
+                    unpicklable.inc()
         for p in payloads:
             try:
                 size = len(pickle.dumps(p))
@@ -100,10 +121,13 @@ def map_shards(fn: Callable, payloads: Sequence,
                 payload_hist.observe(size)
         timed = _TimedCall(fn)
         if serial:
+            if initializer is not None:
+                initializer(*initargs)
             pairs = [timed(p) for p in payloads]
         else:
             with multiprocessing.Pool(
-                processes=min(processes, len(payloads))
+                processes=min(processes, len(payloads)),
+                initializer=initializer, initargs=initargs,
             ) as pool:
                 pairs = pool.map(timed, payloads)
         telemetry.inc("engine.shard.calls", len(pairs))
@@ -112,13 +136,37 @@ def map_shards(fn: Callable, payloads: Sequence,
         return [result for _, result in pairs]
 
 
-def _run_shard(payload) -> BatchResult:
-    (model_factory, model_kwargs, x0, population_size, theta, t_final,
-     n_runs, seed_seq, n_samples, t_start, max_events) = payload
-    from repro.simulation.policies import ConstantPolicy
+#: Per-worker sweep context installed by :func:`_init_sweep_worker`:
+#: ``(population, backend, sweep_config)``.  Module-global by necessity —
+#: a pool worker has no other channel from the initializer to the task
+#: function — and rebuilt wholesale by the next sweep's initializer.
+_SWEEP_CONTEXT = None
 
+
+def _init_sweep_worker(shared) -> None:
+    """Build the shard-invariant sweep state once per worker process.
+
+    ``shared`` carries the model factory and every shard-invariant
+    sweep argument.  The factory runs *here*, so each worker constructs
+    (and each pool pickles) the model exactly once, no matter how many
+    ``theta`` grid points it processes; per-shard payloads shrink to
+    ``(theta, seed_seq)``.
+    """
+    global _SWEEP_CONTEXT
+    (model_factory, model_kwargs, x0, population_size, t_final, n_runs,
+     n_samples, t_start, max_events, backend) = shared
     model = model_factory(**model_kwargs)
     population = model.instantiate(population_size, x0)
+    _SWEEP_CONTEXT = (population, backend, shared)
+
+
+def _run_shard(payload) -> BatchResult:
+    theta, seed_seq = payload
+    from repro.simulation.policies import ConstantPolicy
+
+    population, backend, shared = _SWEEP_CONTEXT
+    (_, _, _, _, t_final, n_runs, n_samples, t_start, max_events,
+     _) = shared
     return simulate_ensemble(
         population,
         lambda: ConstantPolicy(theta),
@@ -128,6 +176,7 @@ def _run_shard(payload) -> BatchResult:
         n_samples=n_samples,
         t_start=t_start,
         max_events=max_events,
+        backend=backend,
     )
 
 
@@ -144,6 +193,7 @@ def sweep_constant_ensembles(
     max_events: int = 50_000_000,
     processes: Optional[int] = None,
     model_kwargs: Optional[dict] = None,
+    backend=None,
 ) -> List[BatchResult]:
     """Run one vectorized ensemble per ``theta`` grid point.
 
@@ -195,10 +245,16 @@ def sweep_constant_ensembles(
     root = (seed if isinstance(seed, np.random.SeedSequence)
             else np.random.SeedSequence(seed))
     seed_seqs = root.spawn(theta_grid.shape[0])
+    # Backends do not cross the pool boundary as instances; ship the
+    # resolved *name* and let each worker re-resolve it (with the usual
+    # warn-and-fallback if the substrate is missing over there).
+    backend_name = resolve_backend(backend).name if backend is not None else None
+    shared = (model_factory, dict(model_kwargs or {}),
+              np.asarray(x0, dtype=float), int(population_size),
+              float(t_final), n_runs, int(n_samples), float(t_start),
+              int(max_events), backend_name)
     payloads = [
-        (model_factory, dict(model_kwargs or {}), np.asarray(x0, dtype=float),
-         int(population_size), theta_grid[i], float(t_final), n_runs,
-         seed_seqs[i], int(n_samples), float(t_start), int(max_events))
-        for i in range(theta_grid.shape[0])
+        (theta_grid[i], seed_seqs[i]) for i in range(theta_grid.shape[0])
     ]
-    return map_shards(_run_shard, payloads, processes)
+    return map_shards(_run_shard, payloads, processes,
+                      initializer=_init_sweep_worker, initargs=(shared,))

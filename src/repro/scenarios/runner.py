@@ -120,7 +120,8 @@ def _resolve_observables(model, spec: ScenarioSpec) -> Dict[str, np.ndarray]:
     return _resolve_weights(model, list(spec.observables) or None)
 
 
-def _run_envelope(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+def _run_envelope(model, spec: ScenarioSpec, q: Question,
+                  backend=None) -> QuestionOutcome:
     opts = q.opts
     times = opts.get("times")
     if times is None:
@@ -132,6 +133,7 @@ def _run_envelope(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         model, spec.x0, times,
         resolution=int(opts.get("resolution", 7)),
         observables=observables,
+        backend=backend,
         **kwargs,
     )
     out = QuestionOutcome()
@@ -144,7 +146,8 @@ def _run_envelope(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
     return out
 
 
-def _run_pontryagin(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+def _run_pontryagin(model, spec: ScenarioSpec, q: Question,
+                    backend=None) -> QuestionOutcome:
     opts = q.opts
     horizons = opts.get("horizons")
     if horizons is None:
@@ -160,7 +163,8 @@ def _run_pontryagin(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         kwargs["sides"] = tuple(opts["sides"])
     observables = list(spec.observables) or None
     bounds = pontryagin_transient_bounds(
-        model, spec.x0, horizons, observables=observables, **kwargs
+        model, spec.x0, horizons, observables=observables, backend=backend,
+        **kwargs
     )
     out = QuestionOutcome()
     for name in bounds.observable_names:
@@ -174,7 +178,8 @@ def _run_pontryagin(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
     return out
 
 
-def _run_hull(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+def _run_hull(model, spec: ScenarioSpec, q: Question,
+              backend=None) -> QuestionOutcome:
     opts = q.opts
     times = opts.get("times")
     if times is None:
@@ -185,7 +190,8 @@ def _run_hull(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
                 "theta_method", "batch"):
         if key in opts:
             kwargs[key] = opts[key]
-    hull = differential_hull_bounds(model, spec.x0, times, **kwargs)
+    hull = differential_hull_bounds(model, spec.x0, times, backend=backend,
+                                    **kwargs)
     out = QuestionOutcome()
     for i, name in enumerate(model.state_names):
         out.series[q.prefixed(f"hull_{name}_lower")] = (times, hull.lower[:, i])
@@ -198,7 +204,8 @@ def _run_hull(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
     return out
 
 
-def _run_template(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+def _run_template(model, spec: ScenarioSpec, q: Question,
+                  backend=None) -> QuestionOutcome:
     opts = q.opts
     family = str(opts.get("family", "box"))
     if family == "box":
@@ -215,7 +222,7 @@ def _run_template(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         kwargs["batch"] = bool(opts["batch"])
     polytope = template_reachable_bounds(
         model, spec.x0, float(opts.get("horizon", spec.horizon)),
-        directions=directions, **kwargs
+        directions=directions, backend=backend, **kwargs
     )
     out = QuestionOutcome()
     box = polytope.bounding_box()
@@ -228,7 +235,8 @@ def _run_template(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
     return out
 
 
-def _run_steadystate(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+def _run_steadystate(model, spec: ScenarioSpec, q: Question,
+                     backend=None) -> QuestionOutcome:
     opts = q.opts
     out = QuestionOutcome()
     batch = bool(opts.get("batch", True))
@@ -237,6 +245,7 @@ def _run_steadystate(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         horizon=float(opts.get("horizon", max(spec.horizon, 50.0))),
         batch=batch,
         settle=bool(opts.get("settle", True)),
+        backend=backend,
     )
     out.findings[q.prefixed("steady_hull_converged")] = float(rect.converged)
     for i, name in enumerate(model.state_names):
@@ -274,7 +283,8 @@ def _run_steadystate(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
     return out
 
 
-def _run_ensemble(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+def _run_ensemble(model, spec: ScenarioSpec, q: Question,
+                  backend=None) -> QuestionOutcome:
     opts = q.opts
     resolution = opts.get("resolution")
     if resolution is None:
@@ -293,6 +303,7 @@ def _run_ensemble(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         seed=int(opts.get("seed", 2016)),
         n_samples=n_samples,
         model_kwargs=spec.kwargs,
+        backend=backend,
     )
     weights = _resolve_observables(model, spec)
     out = QuestionOutcome()
@@ -314,7 +325,8 @@ def _run_ensemble(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
     return out
 
 
-def _run_dtmc_reward(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
+def _run_dtmc_reward(model, spec: ScenarioSpec, q: Question,
+                     backend=None) -> QuestionOutcome:
     """Finite-``N`` interval-DTMC reward bounds through uniformization.
 
     Enumerates the chain at ``population_size``, uniformizes it into a
@@ -346,7 +358,7 @@ def _run_dtmc_reward(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
     start_state = np.empty((steps + 1, value.shape[0]))
     start_state[0] = value[:, 0]
     for k in range(steps):
-        value = dtmc.upper_operator_batch(value)
+        value = dtmc.upper_operator_batch(value, backend=backend)
         start_state[k + 1] = value[:, 0]
     times = np.arange(steps + 1) / rate
 
@@ -366,6 +378,7 @@ def _run_dtmc_reward(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
             lo, hi = dtmc.stationary_expectation_bounds(
                 rewards[j],
                 max_iter=int(opts.get("stationary_max_iter", 50_000)),
+                backend=backend,
             )
             out.findings[q.prefixed(f"dtmc_{name}_stationary_lower")] = lo
             out.findings[q.prefixed(f"dtmc_{name}_stationary_upper")] = hi
@@ -376,7 +389,8 @@ def _run_dtmc_reward(model, spec: ScenarioSpec, q: Question) -> QuestionOutcome:
         # bias, so soundness is pinned on the Poisson-mixed bounds,
         # which enclose by construction; one stacked call mixes every
         # observable and both directions in a single value iteration.
-        mixed_lo, mixed_hi = dtmc.uniformized_bounds(rewards, horizon, rate)
+        mixed_lo, mixed_hi = dtmc.uniformized_bounds(rewards, horizon, rate,
+                                                     backend=backend)
         for j, name in enumerate(names):
             exact_hi = imprecise_reward_bounds(
                 chain, rewards[j], horizon, maximize=True, n_steps=n_steps
@@ -415,21 +429,34 @@ _BACKENDS = {
 
 
 def run_question(spec: ScenarioSpec, question: Question,
-                 model=None) -> QuestionOutcome:
-    """Run one question of a spec (building the model when not supplied)."""
+                 model=None, backend=None) -> QuestionOutcome:
+    """Run one question of a spec (building the model when not supplied).
+
+    ``backend`` selects the compiled-array backend (a
+    :mod:`repro.backend` name) the question's batch kernels dispatch
+    through; ``None`` keeps the process default.
+    """
     if model is None:
         model = spec.build_model()
     attrs = {"scenario": spec.name, "kind": question.kind}
     if question.label:
         attrs["label"] = question.label
+    if backend is not None:
+        attrs["backend"] = str(backend)
     with telemetry.span("scenario.question", **attrs):
-        return _BACKENDS[question.kind](model, spec, question)
+        return _BACKENDS[question.kind](model, spec, question,
+                                        backend=backend)
 
 
 def _run_question_payload(payload) -> QuestionOutcome:
-    """Pool worker: run one question of a (pickled) spec."""
-    spec, index = payload
-    return run_question(spec, spec.questions[index])
+    """Pool worker: run one question of a (pickled) spec.
+
+    The backend crosses the pool boundary as its *name* (a picklable
+    string); the worker re-resolves it, falling back with the standard
+    warning if the substrate is missing in the worker environment.
+    """
+    spec, index, backend = payload
+    return run_question(spec, spec.questions[index], backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -444,6 +471,7 @@ class AnalysisPlan:
     cache_dir: Optional[str] = None
     processes: Optional[int] = None
     kinds: Optional[Tuple[str, ...]] = None  # run only these question kinds
+    backend: Optional[str] = None  # compiled-array backend name (repro.backend)
 
     def select(self, spec: ScenarioSpec) -> ScenarioSpec:
         """The spec this plan actually runs (possibly fewer questions)."""
@@ -536,6 +564,7 @@ def run_scenario(
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
     processes: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ScenarioRun:
     """Run (or recall) every question of a scenario.
 
@@ -555,6 +584,10 @@ def run_scenario(
         Fan independent questions over a process pool (the spec itself
         is shipped to the workers; ad-hoc specs shard like catalog
         entries).
+    backend:
+        Compiled-array backend name (see :mod:`repro.backend`) every
+        question's batch kernels dispatch through; ``None`` keeps the
+        process default (``set_backend`` / ``$REPRO_BACKEND`` / numpy).
 
     Returns
     -------
@@ -567,7 +600,7 @@ def run_scenario(
     overrides = {
         key: value
         for key, value in (("use_cache", use_cache), ("cache_dir", cache_dir),
-                           ("processes", processes))
+                           ("processes", processes), ("backend", backend))
         if value is not None
     }
     if overrides:
@@ -634,11 +667,13 @@ def _execute_plan(spec: ScenarioSpec, plan: AnalysisPlan) -> ScenarioRun:
         and len(spec.questions) > 1
     )
     if parallel_ok:
-        payloads = [(spec, i) for i in range(len(spec.questions))]
+        payloads = [(spec, i, plan.backend)
+                    for i in range(len(spec.questions))]
         outcomes = map_shards(_run_question_payload, payloads, plan.processes)
     else:
         model = spec.build_model()
-        outcomes = [run_question(spec, q, model=model) for q in spec.questions]
+        outcomes = [run_question(spec, q, model=model, backend=plan.backend)
+                    for q in spec.questions]
 
     for outcome in outcomes:
         for name, (times, values) in outcome.series.items():

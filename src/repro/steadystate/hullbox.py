@@ -111,7 +111,8 @@ def hull_steady_rectangle(
             model,
             batch=batch,
             **{key: hull_kwargs[key]
-               for key in ("x_samples_per_axis", "refine", "theta_method")
+               for key in ("x_samples_per_axis", "refine", "theta_method",
+                           "backend")
                if key in hull_kwargs},
         )
 

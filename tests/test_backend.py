@@ -1,0 +1,335 @@
+"""The compiled-array backend seam (repro.backend).
+
+Selection mechanics (env var, ``set_backend``, CLI flag, fallback),
+memoization (kernels compile once per backend, models once per pair),
+the REG005 compilability contract, and the numpy reference semantics
+(the seam's numpy path is the direct bound-method call, bit for bit).
+The differential per-backend numerics live with their suites
+(``test_ode_batch``/``test_extremizer_batch``/``test_ctmc_credal_batch``);
+this file owns the plumbing.
+"""
+
+import contextlib
+import io
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.__main__ import build_parser, main
+from repro.backend import (
+    ArrayBackend,
+    BACKEND_ENV_VAR,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    kernel_compilable,
+    registered_backends,
+    reset_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.models import make_sir_model
+from repro.scenarios.registry import _REGISTRY, register_scenario
+from repro.scenarios.spec import Question, ScenarioSpec
+
+
+@pytest.fixture(autouse=True)
+def _backend_isolation(monkeypatch):
+    """Every test starts from an unresolved process default, no env."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    reset_backend()
+    yield
+    reset_backend()
+
+
+@pytest.fixture
+def metrics():
+    telemetry.enable()
+    telemetry.clear()
+    yield
+    telemetry.disable()
+    telemetry.clear()
+
+
+# ----------------------------------------------------------------------
+# Registry and resolution order
+# ----------------------------------------------------------------------
+
+class TestResolution:
+    def test_registry_knows_both_backends(self):
+        names = registered_backends()
+        assert "numpy" in names
+        assert "numba" in names
+        # numpy is unconditionally available; numba only when installed.
+        assert "numpy" in available_backends()
+
+    def test_default_is_numpy(self):
+        assert get_backend().name == "numpy"
+        assert isinstance(get_backend(), NumpyBackend)
+
+    def test_env_var_resolves_once(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_backend().name == "numpy"
+        # The env is read once per process: later changes are ignored.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "definitely-not-a-backend")
+        assert get_backend().name == "numpy"
+
+    def test_env_var_unknown_name_warns_and_falls_back(self, monkeypatch,
+                                                       metrics):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "definitely-not-a-backend")
+        with pytest.warns(RuntimeWarning, match="falling back to numpy"):
+            backend = get_backend()
+        assert backend.name == "numpy"
+        counters = telemetry.snapshot()["counters"]
+        assert counters["backend.fallback"] == 1
+        assert counters["backend.fallback.definitely-not-a-backend"] == 1
+
+    def test_set_backend_outranks_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "definitely-not-a-backend")
+        assert set_backend("numpy").name == "numpy"
+        # No warning fired: the env name was never resolved.
+        assert get_backend().name == "numpy"
+
+    def test_explicit_argument_outranks_default(self):
+        sentinel = NumpyBackend()
+        assert resolve_backend(sentinel) is sentinel
+        assert resolve_backend(None) is get_backend()
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_use_backend_restores_previous(self):
+        original = get_backend()
+        with use_backend(NumpyBackend()) as inner:
+            assert get_backend() is inner
+            assert inner is not original
+        assert get_backend() is original
+
+    def test_missing_or_unknown_backend_never_crashes(self, metrics):
+        with pytest.warns(RuntimeWarning, match="falling back to numpy"):
+            backend = resolve_backend("tpu-v9")
+        assert backend.name == "numpy"
+        assert telemetry.snapshot()["counters"]["backend.fallback.tpu-v9"] == 1
+
+    def test_requested_numba_resolves_or_falls_back(self, metrics):
+        if "numba" in available_backends():
+            assert resolve_backend("numba").name == "numba"
+        else:
+            with pytest.warns(RuntimeWarning, match="not installed"):
+                backend = resolve_backend("numba")
+            assert backend.name == "numpy"
+            counters = telemetry.snapshot()["counters"]
+            assert counters["backend.fallback.numba"] == 1
+
+    def test_register_backend_rejects_non_subclass(self):
+        from repro.backend import register_backend
+
+        with pytest.raises(TypeError):
+            register_backend("bogus", dict)
+
+
+# ----------------------------------------------------------------------
+# Kernel and model-kernel memoization
+# ----------------------------------------------------------------------
+
+class TestMemoization:
+    def test_compile_kernel_memoizes_on_key(self, metrics):
+        backend = NumpyBackend()
+
+        def kernel(x):
+            return x + 1.0
+
+        first = backend.compile_kernel(kernel, key="test.k")
+        second = backend.compile_kernel(kernel, key="test.k")
+        assert first is second
+        # numpy compilation is the identity.
+        assert first is kernel
+        counters = telemetry.snapshot()["counters"]
+        assert counters["backend.numpy.kernel_dispatch"] == 2
+
+    def test_model_kernels_are_the_bound_methods(self, sir_model, metrics):
+        backend = NumpyBackend()
+        kernels = backend.model_kernels(sir_model)
+        assert kernels.backend_name == "numpy"
+        assert kernels.drift == sir_model.drift_batch
+        assert kernels.rates == sir_model.transition_rates_batch
+        assert kernels.affine == sir_model.affine_parts_batch
+        assert kernels.jacobian == sir_model.jacobian_x_batch
+        # Memoized per (model, backend).
+        assert backend.model_kernels(sir_model) is kernels
+        counters = telemetry.snapshot()["counters"]
+        assert counters["backend.numpy.model_kernel_dispatch"] == 2
+
+    def test_backend_kernels_helper_threads_names(self, sir_model):
+        kernels = sir_model.backend_kernels("numpy")
+        assert kernels.backend_name == "numpy"
+
+    def test_numpy_path_is_bit_identical(self, sir_model, rng):
+        x = rng.uniform(0.05, 0.9, size=(16, 2))
+        theta = rng.uniform(0.5, 5.0, size=(16, 1))
+        kernels = sir_model.backend_kernels("numpy")
+        np.testing.assert_array_equal(
+            kernels.drift(x, theta), sir_model.drift_batch(x, theta)
+        )
+        np.testing.assert_array_equal(
+            kernels.rates(x, theta),
+            sir_model.transition_rates_batch(x, theta),
+        )
+
+
+# ----------------------------------------------------------------------
+# Compilability contract (REG005 basis)
+# ----------------------------------------------------------------------
+
+class TestKernelCompilable:
+    def test_pure_numpy_with_scalar_captures_is_ok(self):
+        scale = 2.0
+        weights = np.array([1.0, 2.0])
+
+        def kernel(x, th):
+            return scale * np.dot(x, weights) * th[0]
+
+        ok, reason = kernel_compilable(kernel)
+        assert ok, reason
+
+    def test_helper_function_captures_recurse(self):
+        def helper(x):
+            return np.square(x)
+
+        def kernel(x, th):
+            return helper(x) + th[0]
+
+        ok, reason = kernel_compilable(kernel)
+        assert ok, reason
+
+    @pytest.mark.parametrize("capture, fragment", [
+        ({"scale": 2.0}, "container"),
+        ([1.0, 2.0], "container"),
+        ({1, 2}, "container"),
+        (io.StringIO(), "object"),
+    ])
+    def test_python_object_captures_are_rejected(self, capture, fragment):
+        def kernel(x, th):
+            return x[0] * th[0] if capture else x[0]
+
+        ok, reason = kernel_compilable(kernel)
+        assert not ok
+        assert fragment in reason
+
+    def test_non_function_is_rejected(self):
+        ok, reason = kernel_compilable(np.ndarray)
+        assert not ok
+
+    def test_catalog_models_are_compilable(self, sir_model):
+        for label, fn in sir_model.batch_kernel_declarations().items():
+            ok, reason = kernel_compilable(fn)
+            assert ok, f"{label}: {reason}"
+
+
+# ----------------------------------------------------------------------
+# The seam under public entry points
+# ----------------------------------------------------------------------
+
+class TestEntryPoints:
+    def test_ode_batch_accepts_backend(self, sir_model, sir_x0):
+        from repro.ode import rk4_integrate_batch
+
+        def field(t, X):
+            return sir_model.drift_batch(X, np.full((X.shape[0], 1), 2.0))
+
+        t_eval = np.linspace(0.0, 1.0, 9)
+        default = rk4_integrate_batch(field, sir_x0[None, :], t_eval)
+        routed = rk4_integrate_batch(field, sir_x0[None, :], t_eval,
+                                     backend="numpy")
+        np.testing.assert_array_equal(routed.states, default.states)
+
+    def test_sweep_backend_is_bit_identical(self, metrics):
+        from repro.engine import sweep_constant_ensembles
+
+        kwargs = dict(x0=[0.7, 0.3], population_size=30,
+                      thetas=[1.0, 3.0], t_final=0.3, n_runs=2,
+                      n_samples=5, seed=7)
+        default = sweep_constant_ensembles(make_sir_model, **kwargs)
+        routed = sweep_constant_ensembles(make_sir_model, backend="numpy",
+                                          **kwargs)
+        for a, b in zip(default, routed):
+            np.testing.assert_array_equal(a.states, b.states)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def _tiny_spec(name):
+    return ScenarioSpec(
+        name=name,
+        title="backend CLI probe",
+        model_factory=make_sir_model,
+        x0=(0.9, 0.1),
+        horizon=0.5,
+        questions=(Question("envelope",
+                            options={"n_times": 3, "resolution": 2}),),
+        observables=("I",),
+    )
+
+
+class TestCli:
+    def test_run_parser_accepts_backend_flag(self):
+        args = build_parser().parse_args(
+            ["run", "anything", "--backend", "numba"]
+        )
+        assert args.backend == "numba"
+        assert build_parser().parse_args(["run", "x"]).backend is None
+
+    def test_run_with_backend_flag_sets_process_default(self):
+        spec = _tiny_spec("backend-cli-probe")
+        register_scenario(spec)
+        out = io.StringIO()
+        try:
+            with contextlib.redirect_stdout(out):
+                code = main(["run", spec.name, "--no-cache",
+                             "--backend", "numpy"])
+        finally:
+            _REGISTRY.pop(spec.name, None)
+        assert code == 0
+        assert "run report" in out.getvalue()
+        # --backend installed the process default as well.
+        assert get_backend().name == "numpy"
+
+    def test_run_with_unknown_backend_warns_and_completes(self):
+        spec = _tiny_spec("backend-cli-fallback-probe")
+        register_scenario(spec)
+        out = io.StringIO()
+        try:
+            with pytest.warns(RuntimeWarning, match="falling back to numpy"):
+                with contextlib.redirect_stdout(out):
+                    code = main(["run", spec.name, "--no-cache",
+                                 "--backend", "not-a-backend"])
+        finally:
+            _REGISTRY.pop(spec.name, None)
+        assert code == 0
+        assert get_backend().name == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Subclass surface (what a JAX backend would implement)
+# ----------------------------------------------------------------------
+
+class TestSubclassSeam:
+    def test_compile_hook_is_the_only_required_override(self):
+        calls = []
+
+        class Doubler(ArrayBackend):
+            name = "doubler"
+
+            def _compile(self, fn, key):
+                calls.append(key)
+                return lambda *a: 2.0 * fn(*a)
+
+        backend = Doubler()
+        kernel = backend.compile_kernel(lambda x: x + 1.0, key="k")
+        assert kernel(1.0) == 4.0
+        # Memoized: a second request does not recompile.
+        backend.compile_kernel(lambda x: x, key="k")
+        assert calls == ["k"]
+        assert backend.xp is np

@@ -150,6 +150,38 @@ def test_broken_subscriber_is_tallied_not_hidden():
     assert core.stats().get("subscriber_errors", 0) == before + 2
 
 
+def test_sweep_payloads_exclude_shard_invariant_context():
+    """The model factory and sweep config ship once per worker (via the
+    pool initializer), so per-theta payloads hold (theta, seed) only."""
+    import pickle
+
+    import numpy as np
+
+    from repro.engine import sweep_constant_ensembles
+    from repro.models import make_sir_model
+
+    telemetry.enable()
+    sweep_constant_ensembles(
+        make_sir_model, [0.7, 0.3], 30, [1.0, 2.0, 3.0],
+        t_final=0.2, n_runs=2, n_samples=5,
+    )
+    snap = telemetry.snapshot()
+    payload = snap["histograms"]["engine.shard.payload_bytes"]
+    shared = snap["histograms"]["engine.shard.shared_bytes"]
+    assert payload["count"] == 3
+    # Regression pin on the drop: the context is metered *once*, not per
+    # shard, and every payload weighs less than the pre-refactor 11-tuple
+    # (context + theta + seed) would.
+    assert shared["count"] == 1
+    old_style = len(pickle.dumps(
+        (make_sir_model, {}, np.asarray([0.7, 0.3]), 30,
+         np.asarray([1.0]), 0.2, 2, np.random.SeedSequence(0).spawn(1)[0],
+         5, 0.0, 50_000_000)
+    ))
+    assert payload["max"] < old_style
+    assert payload["max"] < 1024
+
+
 def test_unpicklable_payload_stamps_counter_and_stops_size_metering():
     from repro.engine import map_shards
 
