@@ -6,12 +6,16 @@ Subcommands:
 - ``describe NAME`` — the full declarative spec (model, questions,
   cache key);
 - ``run NAME [--no-cache] [--refresh] [--processes N] [--cache-dir D]
-  [--backend B] [--trace] [--metrics-out F] [--trace-out F]`` — execute
-  (or recall) every question and print the rendered result plus the run
-  report with its cache-hit counter; ``--backend`` selects the
-  compiled-array backend (see :mod:`repro.backend`) for the whole run;
-  the telemetry flags print the span tree, dump the metrics snapshot
-  and export a ``chrome://tracing`` timeline;
+  [--backend B] [--on-error M] [--trace] [--metrics-out F]
+  [--trace-out F]`` — execute (or recall) every question and print the
+  rendered result plus the run report with its cache-hit counter;
+  ``--backend`` selects the compiled-array backend (see
+  :mod:`repro.backend`) for the whole run; ``--on-error=partial``
+  isolates per-question failures (each failed question is reported and
+  the survivors still render) instead of aborting — exit code ``0``
+  means every question ran, ``3`` a partial result, ``4`` that every
+  question failed; the telemetry flags print the span tree, dump the
+  metrics snapshot and export a ``chrome://tracing`` timeline;
 - ``clear-cache [NAME] [--cache-dir D]`` — drop cached artifacts;
 - ``lint [--strict] [--format=text|json] [--root D] [--no-registry]
   [--rules]`` — the repo's static-analysis gate (AST rules + registry
@@ -93,10 +97,16 @@ def _cmd_run(args) -> int:
         cache_dir=args.cache_dir,
         processes=args.processes,
         backend=args.backend,
+        on_error=args.on_error,
     )
     print(run.result.render())
     print()
     print(run.report.render())
+    if run.failures:
+        print()
+        print(f"failed questions ({len(run.failures)}):")
+        for failure in run.failures:
+            print(f"  - {failure.describe()}")
     if observing:
         if args.trace:
             print()
@@ -110,6 +120,10 @@ def _cmd_run(args) -> int:
             path = telemetry.save_chrome_trace(args.trace_out)
             print(f"chrome trace written to {path} "
                   "(load via chrome://tracing or ui.perfetto.dev)")
+    if run.failures:
+        # Distinct exit codes so scripted callers can tell a partial
+        # result (3: some questions survived) from a total loss (4).
+        return 4 if len(run.failures) >= len(spec.questions) else 3
     return 0
 
 
@@ -164,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compiled-array backend for the run "
                             "(numpy, numba, ...); unknown or missing "
                             "backends warn and fall back to numpy")
+    p_run.add_argument("--on-error", choices=("raise", "partial"),
+                       default="raise",
+                       help="'partial' isolates failing questions and "
+                            "renders the survivors (exit 3 on a partial "
+                            "result, 4 when every question failed); "
+                            "'raise' (default) aborts on the first "
+                            "failure")
     p_run.add_argument("--trace", action="store_true",
                        help="enable telemetry and print the span tree")
     p_run.add_argument("--metrics-out", default=None, metavar="PATH",

@@ -1,4 +1,4 @@
-"""The repo-specific AST rules (REP001–REP010).
+"""The repo-specific AST rules (REP001–REP011).
 
 Each rule encodes one convention the reproduction's test campaign
 hardened dynamically; the linter makes it registration-time static.
@@ -10,9 +10,15 @@ metadata on each class.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterable, List, Optional, Tuple
 
-from repro.analysis.lint.framework import Check, FileContext, Finding
+from repro.analysis.lint.framework import (
+    Check,
+    FileContext,
+    Finding,
+    _iter_comments,
+)
 
 __all__ = ["ALL_CHECKS", "all_checks"]
 
@@ -380,6 +386,99 @@ class RaiseWithoutFromCheck(Check):
             yield from self._visit(ctx, child, inside)
 
 
+#: Identifier fragments that signal a loop-exit condition is a *bound*
+#: (budget, deadline, retry cap ...) rather than a data-driven test.
+_BOUND_TOKENS = (
+    "max", "deadline", "timeout", "attempt", "retr", "budget", "remaining",
+    "limit", "round", "patience", "iter", "count", "steps", "bound",
+)
+
+_UNBOUNDED_OK_RE = re.compile(
+    r"#\s*repro:\s*unbounded-ok\[(?P<reason>[^\]]+)\]"
+)
+
+
+class UnboundedWhileCheck(Check):
+    code = "REP011"
+    title = "every while-True loop in src/ carries an explicit bound"
+    rationale = (
+        "The resilience campaign's failure mode is the loop that spins "
+        "forever when a worker hangs or an iteration stops converging. "
+        "A constant-true `while` must either contain a recognisable "
+        "bound check (an `if` naming a max/deadline/attempt/budget-style "
+        "limit that breaks, returns or raises) or justify itself with "
+        "# repro: unbounded-ok[reason] on the `while` line."
+    )
+    sections = ("src",)
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        waived = {
+            lineno for lineno, comment in _iter_comments(ctx.text)
+            if _UNBOUNDED_OK_RE.search(comment)
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not (isinstance(node.test, ast.Constant)
+                    and bool(node.test.value)):
+                continue
+            if node.lineno in waived:
+                continue
+            if self._has_bound(node):
+                continue
+            yield ctx.finding(
+                node, self.code,
+                "unbounded `while True`: add an explicit bound (an `if` "
+                "on a max/deadline/attempt/budget-style limit that "
+                "breaks/returns/raises) or justify with "
+                "# repro: unbounded-ok[reason]",
+            )
+
+    @classmethod
+    def _has_bound(cls, loop: ast.While) -> bool:
+        """The loop body contains a bound-named `if` that exits.
+
+        Nested function definitions are not descended into: a `return`
+        inside a closure does not exit *this* loop, and `break` cannot
+        cross a function boundary at all.
+        """
+        for node in cls._walk_shallow(loop.body):
+            if not isinstance(node, ast.If):
+                continue
+            if not cls._names_a_bound(node.test):
+                continue
+            for inner in cls._walk_shallow([node]):
+                if isinstance(inner, (ast.Break, ast.Raise, ast.Return)):
+                    return True
+        return False
+
+    @staticmethod
+    def _walk_shallow(nodes) -> Iterable[ast.AST]:
+        stack = list(nodes)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _names_a_bound(test: ast.AST) -> bool:
+        for node in ast.walk(test):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            if name is None:
+                continue
+            lowered = name.lower()
+            if any(token in lowered for token in _BOUND_TOKENS):
+                return True
+        return False
+
+
 ALL_CHECKS = (
     UnseededRngCheck,
     SilentExceptCheck,
@@ -391,6 +490,7 @@ ALL_CHECKS = (
     WildcardImportCheck,
     AssertInLibraryCheck,
     RaiseWithoutFromCheck,
+    UnboundedWhileCheck,
 )
 
 

@@ -35,6 +35,7 @@ convex template polyhedron of the remark in Section IV-C.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -368,6 +369,7 @@ def extremal_trajectories_batch(
     chatter_intervals: int = 2,
     extremizer: Optional[DriftExtremizer] = None,
     backend=None,
+    deadline_seconds: Optional[float] = None,
 ) -> List[PontryaginResult]:
     with telemetry.span("pontryagin.sweep", lanes=len(specs)):
         return _extremal_trajectories_batch_impl(
@@ -375,7 +377,7 @@ def extremal_trajectories_batch(
             max_iter=max_iter, tol=tol, value_tol=value_tol,
             value_patience=value_patience,
             chatter_intervals=chatter_intervals, extremizer=extremizer,
-            backend=backend,
+            backend=backend, deadline_seconds=deadline_seconds,
         )
 
 
@@ -390,6 +392,7 @@ def _extremal_trajectories_batch_impl(
     chatter_intervals: int = 2,
     extremizer: Optional[DriftExtremizer] = None,
     backend=None,
+    deadline_seconds: Optional[float] = None,
 ) -> List[PontryaginResult]:
     """Run many forward–backward sweeps as one lane-parallel batch.
 
@@ -410,6 +413,14 @@ def _extremal_trajectories_batch_impl(
     :func:`extremal_trajectory` lane by lane from a cold start, so each
     returned :class:`PontryaginResult` matches the scalar sweep of the
     same problem to integrator round-off.
+
+    ``deadline_seconds`` is a wall-clock budget for graceful
+    degradation: when the sweep loop exceeds it, iteration stops and
+    every still-active lane reports its best-so-far value with
+    ``converged=False`` (the first iteration always completes, so a
+    best iterate exists, and the final bang-bang projection pass still
+    runs).  Deadline hits stamp
+    ``resilience.pontryagin.deadline_hits``.
     """
     if not specs:
         return []
@@ -478,10 +489,22 @@ def _extremal_trajectories_batch_impl(
     iter_counter = telemetry.live_counter("pontryagin.iterations")
     relax_counter = telemetry.live_counter("pontryagin.relaxation_events")
     residual_hist = telemetry.live_histogram("pontryagin.value_residual")
+    deadline_counter = telemetry.live_counter(
+        "resilience.pontryagin.deadline_hits"
+    )
 
+    sweep_start = time.perf_counter()
     active = lanes_all.copy()
     for it in range(1, max_iter + 1):
         if active.size == 0:
+            break
+        # Graceful degradation under a wall-clock budget: guarded by
+        # ``it > 1`` so every lane completes at least one full sweep
+        # (best_value starts at -inf and is only finite afterwards).
+        if (deadline_seconds is not None and it > 1
+                and time.perf_counter() - sweep_start > deadline_seconds):
+            if deadline_counter is not None:
+                deadline_counter.inc()
             break
         iterations[active] = it
         a = active
@@ -620,6 +643,12 @@ class TransientBounds:
 
     ``lower[name][k]`` and ``upper[name][k]`` bound the observable at
     ``horizons[k]`` over all solutions of the imprecise inclusion.
+
+    ``converged`` is ``False`` when a ``deadline_seconds`` budget
+    stopped the computation early: the recorded bounds are then the
+    best iterates so far (still conservative directions of search, but
+    not fixed points), and horizons the scalar path never reached stay
+    NaN.
     """
 
     horizons: np.ndarray
@@ -627,6 +656,7 @@ class TransientBounds:
     upper: Dict[str, np.ndarray] = field(default_factory=dict)
     lower_results: Dict[str, List[PontryaginResult]] = field(default_factory=dict)
     upper_results: Dict[str, List[PontryaginResult]] = field(default_factory=dict)
+    converged: bool = True
 
     @property
     def observable_names(self):
@@ -687,6 +717,7 @@ def pontryagin_transient_bounds(
     batch: bool = True,
     lanes: Optional[bool] = None,
     backend=None,
+    deadline_seconds: Optional[float] = None,
 ) -> TransientBounds:
     with telemetry.span("pontryagin.bounds",
                         horizons=np.asarray(horizons).size,
@@ -697,6 +728,7 @@ def pontryagin_transient_bounds(
             max_iter=max_iter, tol=tol, extremizer=extremizer,
             keep_results=keep_results, sides=sides, batch=batch,
             lanes=lanes, backend=backend,
+            deadline_seconds=deadline_seconds,
         )
 
 
@@ -715,6 +747,7 @@ def _pontryagin_transient_bounds_impl(
     batch: bool = True,
     lanes: Optional[bool] = None,
     backend=None,
+    deadline_seconds: Optional[float] = None,
 ) -> TransientBounds:
     """Exact imprecise-model bounds at each horizon, per observable.
 
@@ -738,6 +771,12 @@ def _pontryagin_transient_bounds_impl(
     horizon's optimal control; both converge to the same bang-bang
     optima (the warm start saves sweeps, not accuracy) and are pinned
     against each other in the differential suite.
+
+    ``deadline_seconds`` bounds the wall clock: past it, the lanes path
+    stops iterating and reports best-so-far values, the scalar path
+    stops launching new per-horizon sweeps (at least one sweep always
+    completes; unreached horizons stay NaN), and the returned
+    :class:`TransientBounds` carries ``converged=False``.
     """
     horizons = np.asarray(horizons, dtype=float)
     if np.any(horizons <= 0):
@@ -782,7 +821,7 @@ def _pontryagin_transient_bounds_impl(
         results = extremal_trajectories_batch(
             model, x0, specs,
             max_iter=max_iter, tol=tol, extremizer=extremizer,
-            backend=backend,
+            backend=backend, deadline_seconds=deadline_seconds,
         )
         for (name, is_max, k), result in zip(keys, results):
             target = bounds.upper if is_max else bounds.lower
@@ -790,14 +829,32 @@ def _pontryagin_transient_bounds_impl(
             if keep_results:
                 store = bounds.upper_results if is_max else bounds.lower_results
                 store[name].append(result)
+        if deadline_seconds is not None:
+            bounds.converged = all(r.converged for r in results)
         return bounds
 
+    sweeps_start = time.perf_counter()
+    sweeps_done = 0
+    deadline_counter = telemetry.live_counter(
+        "resilience.pontryagin.deadline_hits"
+    )
     for name, c in directions.items():
         bounds.lower[name] = np.full(horizons.shape[0], np.nan)
         bounds.upper[name] = np.full(horizons.shape[0], np.nan)
         for is_max in requested:
             warm: Optional[Tuple[np.ndarray, np.ndarray]] = None
             for k, horizon in enumerate(horizons):
+                # Deadline between sweeps (a running sweep is never
+                # preempted, and at least one always completes);
+                # horizons never launched stay NaN.
+                if (deadline_seconds is not None and sweeps_done >= 1
+                        and time.perf_counter() - sweeps_start
+                        > deadline_seconds):
+                    if bounds.converged:
+                        bounds.converged = False
+                        if deadline_counter is not None:
+                            deadline_counter.inc()
+                    break
                 n_steps = step_counts[k]
                 initial = None
                 if warm is not None:
@@ -815,6 +872,7 @@ def _pontryagin_transient_bounds_impl(
                     initial_controls=initial,
                 )
                 warm = (result.times, result.controls)
+                sweeps_done += 1
                 target = bounds.upper if is_max else bounds.lower
                 target[name][k] = result.value
                 if keep_results:

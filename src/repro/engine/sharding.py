@@ -54,10 +54,42 @@ class _TimedCall:
         return time.perf_counter() - start, result
 
 
+def _pool_map(fn: Callable, payloads: Sequence, processes: int,
+              initializer: Optional[Callable], initargs: tuple) -> List:
+    """Legacy ``Pool.map`` with the two environmental guards.
+
+    Pool *creation* failure (sandboxed env without semaphores or
+    ``/dev/shm``) degrades to the serial path — warn once, stamp
+    ``engine.shard.pool_unavailable`` — instead of crashing the sweep.
+    Teardown goes through ``terminate`` in a ``finally`` so a
+    ``KeyboardInterrupt`` mid-``map`` kills the workers immediately
+    rather than leaking them (``close``/``join`` would wait out
+    whatever the interrupt was trying to stop).
+    """
+    try:
+        pool = multiprocessing.Pool(
+            processes=min(processes, len(payloads)),
+            initializer=initializer, initargs=initargs,
+        )
+    except (OSError, ImportError) as exc:
+        from repro.resilience.execution import warn_pool_unavailable
+
+        warn_pool_unavailable(exc)
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(p) for p in payloads]
+    try:
+        return pool.map(fn, payloads)
+    finally:
+        pool.terminate()
+        pool.join()
+
+
 def map_shards(fn: Callable, payloads: Sequence,
                processes: Optional[int] = None,
                initializer: Optional[Callable] = None,
-               initargs: tuple = ()) -> List:
+               initargs: tuple = (),
+               policy=None) -> List:
     """Map ``fn`` over picklable payloads, optionally across a process pool.
 
     The shared fan-out primitive of the engine layer: results come back
@@ -80,19 +112,29 @@ def map_shards(fn: Callable, payloads: Sequence,
     size land on the registry as the ``engine.shard.seconds`` /
     ``engine.shard.payload_bytes`` histograms, and the one-time worker
     context size on the ``engine.shard.shared_bytes`` histogram.
+
+    ``policy`` (a :class:`repro.resilience.RetryPolicy`) switches to
+    the fault-tolerant executor — bounded retries with deterministic
+    backoff, per-shard timeouts, worker-death recovery, and (under
+    ``on_error="partial"``) typed :class:`~repro.resilience.ShardFailure`
+    records in the failed slots instead of an aborted sweep.  With no
+    policy the legacy path below runs unchanged (bit-identical results,
+    no executor machinery).
     """
     payloads = list(payloads)
+    if policy is not None:
+        from repro.resilience.execution import map_shards_robust
+
+        return map_shards_robust(fn, payloads, processes, policy,
+                                 initializer=initializer,
+                                 initargs=initargs)
     serial = processes is None or processes <= 1 or len(payloads) <= 1
     if not telemetry.enabled():
         if serial:
             if initializer is not None:
                 initializer(*initargs)
             return [fn(p) for p in payloads]
-        with multiprocessing.Pool(
-            processes=min(processes, len(payloads)),
-            initializer=initializer, initargs=initargs,
-        ) as pool:
-            return pool.map(fn, payloads)
+        return _pool_map(fn, payloads, processes, initializer, initargs)
 
     with telemetry.span("engine.map_shards", shards=len(payloads),
                         processes=1 if serial else processes):
@@ -125,11 +167,8 @@ def map_shards(fn: Callable, payloads: Sequence,
                 initializer(*initargs)
             pairs = [timed(p) for p in payloads]
         else:
-            with multiprocessing.Pool(
-                processes=min(processes, len(payloads)),
-                initializer=initializer, initargs=initargs,
-            ) as pool:
-                pairs = pool.map(timed, payloads)
+            pairs = _pool_map(timed, payloads, processes,
+                              initializer, initargs)
         telemetry.inc("engine.shard.calls", len(pairs))
         telemetry.observe_many("engine.shard.seconds",
                                [seconds for seconds, _ in pairs])
@@ -194,6 +233,7 @@ def sweep_constant_ensembles(
     processes: Optional[int] = None,
     model_kwargs: Optional[dict] = None,
     backend=None,
+    policy=None,
 ) -> List[BatchResult]:
     """Run one vectorized ensemble per ``theta`` grid point.
 
@@ -221,6 +261,11 @@ def sweep_constant_ensembles(
         ``None`` or ``1`` runs the shards serially in-process (no pool
         overhead — the right choice on single-core boxes and inside
         tests); larger values fan the shards out over a pool.
+    policy:
+        Optional :class:`repro.resilience.RetryPolicy`; the sweep then
+        inherits :func:`map_shards`' fault-tolerant semantics, and with
+        ``on_error="partial"`` failed grid points come back as
+        :class:`~repro.resilience.ShardFailure` records in their slots.
 
     Returns
     -------
@@ -257,4 +302,5 @@ def sweep_constant_ensembles(
         (theta_grid[i], seed_seqs[i]) for i in range(theta_grid.shape[0])
     ]
     return map_shards(_run_shard, payloads, processes,
-                      initializer=_init_sweep_worker, initargs=(shared,))
+                      initializer=_init_sweep_worker, initargs=(shared,),
+                      policy=policy)

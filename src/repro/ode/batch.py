@@ -41,6 +41,7 @@ from scipy.optimize import fsolve
 from repro import telemetry
 from repro.backend import resolve_backend
 from repro.ode.integrators import _SETTLE_ACCEPT_RESIDUAL, Trajectory
+from repro.resilience import faults
 
 __all__ = [
     "TrajectoryBatch",
@@ -510,6 +511,7 @@ def _dopri_batch_impl(
     max_factor: float = 10.0,
     lane_args=None,
     backend=None,
+    retire_failed_lanes: bool = False,
 ) -> TrajectoryBatch:
     """Adaptive Dormand–Prince 5(4) integration of a stack of IVPs.
 
@@ -549,6 +551,17 @@ def _dopri_batch_impl(
         ``[min_factor, max_factor]`` growth with ``safety``.
     max_step, max_steps:
         Step magnitude cap and a global iteration guard.
+    retire_failed_lanes:
+        Opt-in graceful degradation: a lane whose step size collapses
+        below round-off or whose error estimate goes non-finite (NaN /
+        overflowing state) is *retired* with a diagnostic record in
+        ``stats["lane_failures"]`` — frozen at its last accepted state
+        — instead of aborting the whole batch with ``RuntimeError``.
+        Surviving lanes keep their own step sequences (retirement works
+        exactly like reaching an end time; only the usual sub-ULP
+        BLAS reduction-order sensitivity to the active-stack shape
+        remains), and with no failures the flag is bit-identical to the
+        default path.  The ``max_steps`` guard still raises regardless.
 
     Returns
     -------
@@ -557,7 +570,10 @@ def _dopri_batch_impl(
     to the last sample, which precedes a lane's end time when ``t_eval``
     stops short of it; the integration endpoints are always available
     as ``stats["final_states"]``.  ``stats`` also records ``nfev`` plus
-    per-lane accepted/rejected step counts.
+    per-lane accepted/rejected step counts, and (with
+    ``retire_failed_lanes``) the ``lane_failures`` diagnostics — one
+    ``{"lane", "reason", "t", "accepted", "rejected"}`` dict per
+    retired lane.
     """
     be = resolve_backend(backend)
     stage_sum = be.compile_kernel(_dp_stage_sum, key="ode.dp_stage_sum")
@@ -623,6 +639,32 @@ def _dopri_batch_impl(
         fcur[act] = f0
     err_prev = np.ones(L)
 
+    lane_failures: list = []
+
+    def retire(dead, reason):
+        """Freeze failed lanes at their last accepted state + diagnose."""
+        for lane in dead:
+            final_y[lane] = y[lane]
+            if out is not None and filled[lane] < n_out:
+                out[lane, filled[lane]:] = y[lane]
+                filled[lane] = n_out
+            lane_failures.append({
+                "lane": int(lane),
+                "reason": reason,
+                "t": float(t[lane]),
+                "accepted": int(n_accepted[lane]),
+                "rejected": int(n_rejected[lane]),
+            })
+
+    # Chaos seam (off by default at one global load): poison one lane's
+    # state with NaN after it has accepted a set number of steps, which
+    # must drive the non-finite retirement path below.
+    plan = faults.active_plan()
+    poison = plan.poison_nan if plan is not None else None
+    if poison is not None and not 0 <= poison[0] < L:
+        poison = None
+    poison_counted = False
+
     iterations = 0
     while act.size:
         iterations += 1
@@ -632,6 +674,11 @@ def _dopri_batch_impl(
                 "size may have collapsed on a discontinuity (use the "
                 "fixed-grid rk4 kernels for sliding-boundary models)"
             )
+        if poison is not None and n_accepted[poison[0]] >= poison[1]:
+            y[poison[0], 0] = np.nan
+            if not poison_counted:
+                poison_counted = True
+                faults.count_injection("poison-nan")
         ta, ya, ka = t[act], y[act], fcur[act]
         remaining = np.abs(t_end[act] - ta)
         h_act = np.minimum(np.minimum(h[act], max_step), remaining)
@@ -640,12 +687,18 @@ def _dopri_batch_impl(
         # A finishing lane may legitimately take a sub-round-off step to
         # land exactly on its end time; only a *non-final* step this
         # small means the controller has collapsed on a discontinuity.
-        if np.any((h_act < tiny) & ~last):
-            raise RuntimeError(
-                "dopri_batch step size collapsed below round-off; the "
-                "right-hand side is likely discontinuous at the current "
-                "state (use the fixed-grid rk4 kernels instead)"
-            )
+        underflow = (h_act < tiny) & ~last
+        if np.any(underflow):
+            if not retire_failed_lanes:
+                raise RuntimeError(
+                    "dopri_batch step size collapsed below round-off; the "
+                    "right-hand side is likely discontinuous at the current "
+                    "state (use the fixed-grid rk4 kernels instead)"
+                )
+            dead = act[underflow]
+            retire(dead, "step-underflow")
+            act = act[~np.isin(act, dead)]
+            continue
         h_signed = direction * h_act
 
         K = np.empty((7, act.size, d))
@@ -664,6 +717,10 @@ def _dopri_batch_impl(
         bad = ~np.isfinite(err)
         err = np.where(bad, np.inf, err)
         accept = err <= 1.0
+        # Lane *values* of the non-finite lanes, captured before the
+        # done-removal below mutates ``act`` — they are removed (and
+        # retired) only at the end of the iteration.
+        failed = act[bad] if (retire_failed_lanes and np.any(bad)) else None
 
         # PI controller: accepted lanes grow by the error history pair,
         # rejected lanes shrink on the current error alone.
@@ -714,6 +771,14 @@ def _dopri_batch_impl(
                 keep[np.isin(act, done)] = False
                 act = act[keep]
 
+        if failed is not None:
+            # A non-finite error estimate cannot recover by shrinking
+            # the step (the state itself is NaN/inf): retire the lane
+            # at its last accepted state instead of spinning it down to
+            # the underflow guard.
+            retire(failed, "non-finite-state")
+            act = act[~np.isin(act, failed)]
+
     if out is not None:
         times = np.broadcast_to(t_eval, (L, t_eval.shape[0])).copy()
         states = out
@@ -731,6 +796,7 @@ def _dopri_batch_impl(
             "n_accepted": n_accepted,
             "n_rejected": n_rejected,
             "final_states": final_y,
+            "lane_failures": lane_failures,
         },
     )
 
@@ -749,6 +815,7 @@ def dopri_batch(
     max_factor: float = 10.0,
     lane_args=None,
     backend=None,
+    retire_failed_lanes: bool = False,
 ) -> TrajectoryBatch:
     with telemetry.span("ode.dopri_batch") as sp:
         batch = _dopri_batch_impl(
@@ -756,6 +823,7 @@ def dopri_batch(
             rtol=rtol, atol=atol, max_step=max_step, max_steps=max_steps,
             safety=safety, min_factor=min_factor, max_factor=max_factor,
             lane_args=lane_args, backend=backend,
+            retire_failed_lanes=retire_failed_lanes,
         )
         sp.set("lanes", batch.n_lanes)
     if telemetry.enabled():
@@ -774,6 +842,9 @@ def dopri_batch(
             retired = int(np.count_nonzero(accepted < accepted.max()))
             if retired:
                 telemetry.inc("ode.dopri.lane_retirements", retired)
+        if stats["lane_failures"]:
+            telemetry.inc("resilience.ode.lane_failures",
+                          len(stats["lane_failures"]))
     return batch
 
 

@@ -1,0 +1,255 @@
+"""Deterministic fault injection for the chaos test suite.
+
+The recovery paths of the resilience layer (retries, pool rebuilds,
+lane retirement, cache-corruption tolerance) only count if tests can
+*prove* they fire.  This module plants seams at the three layers the
+tentpole hardens — :func:`~repro.engine.map_shards` shard execution,
+the scenario disk cache, and the batched ODE core — and drives them
+from a :class:`FaultPlan` installed by the :func:`inject` context
+manager.
+
+Design rules, mirroring :mod:`repro.telemetry`:
+
+- **Off by default at provably zero cost.**  Every seam reads the
+  module-global ``_armed`` flag first; disarmed, a seam is one global
+  load and a branch.  The operation tally (:func:`stats`) counts seam
+  evaluations while armed, so the overhead test converts "seams per
+  workload" into a bound instead of a flaky wall-clock A/B.
+- **Deterministic and worker-count invariant.**  Fault decisions are
+  pure functions of ``(shard index, attempt number)`` — no RNG, no
+  clocks, no worker-local state (a killed worker keeps no state).  The
+  same plan against the same policy produces the same failures and the
+  same recovery whether the sweep runs serially or over any pool size.
+- **Pool-portable.**  A :class:`FaultPlan` is a frozen tuple-of-tuples
+  dataclass, picklable under any start method; the shard wrapper
+  carries it into workers and re-arms it there via :func:`activate`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
+
+__all__ = ["FaultPlan", "InjectedFault", "inject", "activate",
+           "active_plan", "armed", "count_injection", "stats",
+           "reset_stats"]
+
+
+class InjectedFault(RuntimeError):
+    """The exception an injected shard crash raises (distinguishable in
+    tests from genuine payload errors)."""
+
+
+#: ``(index, n_attempts)`` pairs: the shard at ``index`` faults on its
+#: first ``n_attempts`` attempts (``-1`` = every attempt).
+_ShardFaults = Tuple[Tuple[int, int], ...]
+
+#: Accepted spellings for a per-shard fault spec in :func:`inject`.
+ShardFaultSpec = Union[int, Tuple[int, int], Mapping[int, int], None]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, picklable description of the faults to inject.
+
+    Attributes
+    ----------
+    crash_shards:
+        Shards whose payload call raises :class:`InjectedFault`.
+    hang_shards:
+        Shards whose payload call sleeps ``hang_seconds`` first (the
+        parent's per-shard timeout is what reclaims them on the pool
+        path; serially the sleep simply elapses).
+    kill_shards:
+        Shards whose worker process dies hard (``os._exit``) — the
+        BrokenProcessPool / pool-rebuild path.  On the serial path
+        (no worker to kill) this degrades to a crash.
+    hang_seconds:
+        Sleep length of a hang fault.
+    poison_nan:
+        ``(lane, after_accepted_steps)``: the batched ODE core writes
+        NaN into that lane's state once it has accepted that many
+        steps — the lane-retirement path.
+    corrupt_cache:
+        Every cache entry classification reports ``corrupt``.
+    cache_store_errors:
+        The first N ``store_result`` publish attempts raise a
+        transient ``OSError`` (1 exercises the retry, 2 exhausts it).
+    """
+
+    crash_shards: _ShardFaults = ()
+    hang_shards: _ShardFaults = ()
+    kill_shards: _ShardFaults = ()
+    hang_seconds: float = 30.0
+    poison_nan: Optional[Tuple[int, int]] = None
+    corrupt_cache: bool = False
+    cache_store_errors: int = 0
+
+    def shard_fault(self, index: int, attempt: int) -> Optional[str]:
+        """The fault (if any) shard ``index``'s ``attempt`` suffers.
+
+        Pure in ``(index, attempt)``; kill takes precedence over hang
+        over crash when a shard appears in several lists.
+        """
+        for kind, entries in (("kill", self.kill_shards),
+                              ("hang", self.hang_shards),
+                              ("crash", self.crash_shards)):
+            for i, n in entries:
+                if i == index and (n < 0 or attempt <= n):
+                    return kind
+        return None
+
+
+# Armed flag read directly (``faults._armed``) on hot seams: one global
+# load, no function call, exactly like ``telemetry.core._enabled``.
+_armed: bool = False
+
+_plan_var: ContextVar[Optional[FaultPlan]] = ContextVar(
+    "repro-fault-plan", default=None
+)
+
+#: How many contexts currently hold a plan (inject/activate nest).
+_arm_depth: int = 0
+
+_ops: Dict[str, int] = {"seam_checks": 0, "injected": 0}
+
+
+def armed() -> bool:
+    """Whether any fault plan is currently installed (process-wide)."""
+    return _armed
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed :class:`FaultPlan`, or ``None`` when disarmed.
+
+    The disarmed fast path is a single global load; seam-check
+    accounting only happens while armed, so :func:`stats` proves the
+    disarmed cost is exactly that load.
+    """
+    if not _armed:
+        return None
+    _ops["seam_checks"] += 1
+    return _plan_var.get()
+
+
+def count_injection(kind: str) -> None:
+    """Tally one fired injection (``stats()["injected"]``)."""
+    _ops["injected"] += 1
+    _ops[f"injected.{kind}"] = _ops.get(f"injected.{kind}", 0) + 1
+
+
+def stats() -> Dict[str, int]:
+    """Seam-evaluation and injection counts since :func:`reset_stats`."""
+    return dict(_ops)
+
+
+def reset_stats() -> None:
+    _ops.clear()
+    _ops.update({"seam_checks": 0, "injected": 0})
+
+
+def _normalise(spec: ShardFaultSpec) -> _ShardFaults:
+    """Normalise a shard-fault spec into ``((index, n_attempts), ...)``.
+
+    An ``int`` means "that shard faults on every attempt"; an
+    ``(index, n)`` pair limits the fault to the first ``n`` attempts;
+    a mapping gives several shards their own attempt counts.
+    """
+    if spec is None:
+        return ()
+    if isinstance(spec, Mapping):
+        return tuple((int(i), int(n)) for i, n in sorted(spec.items()))
+    if isinstance(spec, tuple) and len(spec) == 2:
+        return ((int(spec[0]), int(spec[1])),)
+    if isinstance(spec, int):
+        return ((spec, -1),)
+    raise TypeError(
+        f"shard fault spec must be an index, an (index, n_attempts) pair "
+        f"or a mapping; got {spec!r}"
+    )
+
+
+@contextlib.contextmanager
+def activate(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Install an already-built plan for the duration of the context.
+
+    The worker-side re-arming seam: the shard wrapper pickles the
+    parent's plan into the worker and activates it there, so nested
+    cache / ODE seams inside the payload see the same faults the
+    parent's :func:`inject` block declared.  ``activate(None)`` is a
+    no-op passthrough (the common disarmed case costs nothing).
+    """
+    global _armed, _arm_depth
+    if plan is None:
+        yield None
+        return
+    token = _plan_var.set(plan)
+    _arm_depth += 1
+    _armed = True
+    try:
+        yield plan
+    finally:
+        _plan_var.reset(token)
+        _arm_depth -= 1
+        _armed = _arm_depth > 0
+
+
+@contextlib.contextmanager
+def inject(
+    *,
+    crash_shard: ShardFaultSpec = None,
+    hang_shard: ShardFaultSpec = None,
+    kill_shard: ShardFaultSpec = None,
+    hang_seconds: float = 30.0,
+    poison_nan: Optional[Tuple[int, int]] = None,
+    corrupt_cache: bool = False,
+    cache_store_errors: int = 0,
+) -> Iterator[FaultPlan]:
+    """Build and install a :class:`FaultPlan` for the ``with`` block.
+
+    Example — a sweep whose shard 2 crashes once and shard 5 hangs
+    forever::
+
+        with faults.inject(crash_shard={2: 1}, hang_shard=5,
+                           hang_seconds=30.0):
+            results = map_shards(fn, payloads, processes=4, policy=policy)
+    """
+    plan = FaultPlan(
+        crash_shards=_normalise(crash_shard),
+        hang_shards=_normalise(hang_shard),
+        kill_shards=_normalise(kill_shard),
+        hang_seconds=float(hang_seconds),
+        poison_nan=(None if poison_nan is None
+                    else (int(poison_nan[0]), int(poison_nan[1]))),
+        corrupt_cache=bool(corrupt_cache),
+        cache_store_errors=int(cache_store_errors),
+    )
+    with activate(plan):
+        yield plan
+
+
+def apply_shard_fault(plan: FaultPlan, index: int, attempt: int) -> None:
+    """Fire the planned fault (if any) for one shard attempt.
+
+    Called by the shard wrapper *inside* the executing process.  A
+    ``kill`` fault terminates the worker hard — but only when there is
+    a parent process to notice; on the serial path it degrades to a
+    crash so the test process itself survives.
+    """
+    kind = plan.shard_fault(index, attempt)
+    if kind is None:
+        return
+    count_injection(kind)
+    if kind == "hang":
+        time.sleep(plan.hang_seconds)
+        return
+    if kind == "kill" and multiprocessing.parent_process() is not None:
+        os._exit(17)
+    raise InjectedFault(
+        f"injected {kind} in shard {index} (attempt {attempt})"
+    )

@@ -1,0 +1,166 @@
+"""Retry policies and typed failure records for fault-tolerant execution.
+
+A :class:`RetryPolicy` is the one knob object of the resilience layer:
+it bounds attempts, caps per-shard wall clock, fixes the (deterministic)
+exponential backoff schedule and decides whether an exhausted shard
+aborts the whole fan-out (``on_error="raise"``) or degrades it to a
+partial result (``on_error="partial"``).  Failures that survive the
+policy come back as *values* — :class:`ShardFailure` in a
+:func:`~repro.engine.map_shards` result slot, :class:`QuestionFailure`
+on a :class:`~repro.scenarios.ScenarioRun` — so callers can merge what
+succeeded and report what did not, instead of losing everything to one
+bad worker.
+
+The backoff schedule is a pure function of the policy (no jitter, no
+clock reads), which is what makes recovered sweeps reproducible: the
+same faults against the same policy yield the same retry timeline on
+any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["RetryPolicy", "ShardFailure", "QuestionFailure",
+           "FAILURE_KINDS"]
+
+#: The ways a shard attempt can fail: a raising payload function, a
+#: per-shard wall-clock timeout, or the death of the worker process
+#: running it (OOM kill, segfault, ``os._exit``).
+FAILURE_KINDS = ("error", "timeout", "pool-crash")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry execution policy for sharded fan-outs.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per shard (1 = no retries).
+    timeout_seconds:
+        Per-attempt wall-clock budget.  Only enforceable on the pool
+        path (a hung worker is killed and the pool rebuilt); the serial
+        path cannot preempt a running payload and ignores it.
+    backoff_base, backoff_factor, backoff_max:
+        Deterministic exponential backoff: the delay before retry
+        ``k`` (after attempt ``k`` failed) is
+        ``min(backoff_max, backoff_base * backoff_factor**(k - 1))``.
+        No jitter — reproducibility beats thundering-herd avoidance at
+        this scale, and the chaos suite pins the exact schedule.
+    on_error:
+        ``"partial"`` places a :class:`ShardFailure` in the failed
+        slot and keeps going; ``"raise"`` re-raises the shard's final
+        error once its attempts are exhausted (legacy semantics).
+    max_pool_rebuilds:
+        Hard bound on pool kill/rebuild cycles (worker deaths and
+        timeout reclamations) per fan-out, so a systematically dying
+        environment terminates instead of thrashing.
+    """
+
+    max_attempts: int = 3
+    timeout_seconds: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    on_error: str = "partial"
+    max_pool_rebuilds: int = 8
+
+    def __post_init__(self):
+        if int(self.max_attempts) < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive (or None)")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max < 0:
+            raise ValueError("backoff_max must be >= 0")
+        if self.on_error not in ("raise", "partial"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'partial', got {self.on_error!r}"
+            )
+        if int(self.max_pool_rebuilds) < 1:
+            raise ValueError("max_pool_rebuilds must be >= 1")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Seconds to wait after (1-based) ``attempt`` failed."""
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        return min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+    def backoff_schedule(self) -> Tuple[float, ...]:
+        """The full delay sequence between the policy's attempts."""
+        return tuple(self.backoff_delay(k)
+                     for k in range(1, self.max_attempts))
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One shard's terminal failure, in its :func:`map_shards` slot.
+
+    Attributes
+    ----------
+    index:
+        The payload index the failure belongs to (results keep input
+        order, so this is also the slot the record occupies).
+    error_type, message:
+        Exception class name and message of the final failing attempt
+        (synthesised for timeouts and worker deaths).
+    kind:
+        One of :data:`FAILURE_KINDS`.
+    attempts:
+        Attempts consumed before giving up.
+    elapsed_seconds:
+        Wall clock from the shard's first attempt to its final failure.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    kind: str
+    attempts: int
+    elapsed_seconds: float
+
+    def __post_init__(self):
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAILURE_KINDS}, got {self.kind!r}"
+            )
+
+    def describe(self) -> str:
+        return (f"shard {self.index} failed ({self.kind}) after "
+                f"{self.attempts} attempt(s) in {self.elapsed_seconds:.3f}s: "
+                f"{self.error_type}: {self.message}")
+
+
+@dataclass(frozen=True)
+class QuestionFailure:
+    """One scenario question's terminal failure (``on_error="partial"``).
+
+    The scenario-level twin of :class:`ShardFailure`: identifies the
+    question by kind/label, carries the exception taxonomy and the
+    attempt accounting, and rides on :class:`~repro.scenarios.ScenarioRun`
+    next to the outcomes that survived.
+    """
+
+    scenario: str
+    kind: str
+    label: str
+    error_type: str
+    message: str
+    attempts: int
+    elapsed_seconds: float
+
+    @property
+    def question(self) -> str:
+        """``kind`` or ``kind[label]`` — the question's display name."""
+        return f"{self.kind}[{self.label}]" if self.label else self.kind
+
+    def describe(self) -> str:
+        return (f"question {self.question} of {self.scenario} failed after "
+                f"{self.attempts} attempt(s) in {self.elapsed_seconds:.3f}s: "
+                f"{self.error_type}: {self.message}")

@@ -39,6 +39,7 @@ Typical usage::
     run = run_scenario(spec)
 """
 
+from repro.resilience import QuestionFailure, RetryPolicy
 from repro.scenarios.cache import (
     CACHE_SCHEMA_VERSION,
     cache_dir,
@@ -69,6 +70,8 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "AnalysisPlan",
+    "QuestionFailure",
+    "RetryPolicy",
     "RunReport",
     "ScenarioRun",
     "run_scenario",

@@ -27,6 +27,7 @@ from typing import Optional, Tuple, Union
 import repro
 from repro import telemetry
 from repro.reporting import ExperimentResult
+from repro.resilience import faults
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["cache_dir", "cache_path", "load_cached", "load_cached_detail",
@@ -98,6 +99,13 @@ def _classify_entry(spec: ScenarioSpec, path: pathlib.Path,
     # hash-scheme drift across library versions.
     if wrapper.get("spec_payload") != spec.payload():
         return None, MISS_PAYLOAD
+    if faults._armed:
+        # Chaos seam: a corrupt-cache fault makes every entry classify
+        # as corrupt, proving the miss-and-recompute path end to end.
+        plan = faults.active_plan()
+        if plan is not None and plan.corrupt_cache:
+            faults.count_injection("corrupt-cache")
+            return None, MISS_CORRUPT
     try:
         return ExperimentResult.from_json(wrapper["result"]), CACHE_HIT
     except (KeyError, TypeError, ValueError):
@@ -142,7 +150,11 @@ def store_result(spec: ScenarioSpec, result: ExperimentResult,
 
     The write is atomic (unique temp file + rename), so neither a
     crashed run nor concurrent runs of the same spec can publish a
-    half-written entry.
+    half-written entry.  A *transient* ``OSError`` during publication
+    (anti-virus scanners, overlay filesystems, a concurrent
+    ``clear_cache`` sweeping the temp file) gets one retry with a fresh
+    temp file — stamped on ``resilience.cache.store_retries`` — before
+    the error propagates to the caller's degrade-to-uncached handling.
     """
     path = cache_path(spec, directory)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -153,17 +165,33 @@ def store_result(spec: ScenarioSpec, result: ExperimentResult,
         "spec_payload": spec.payload(),
         "result": json.loads(result.to_json()),
     }
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f"{spec.spec_hash()}-", suffix=".tmp", dir=path.parent
-    )
-    tmp = pathlib.Path(tmp_name)
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(json.dumps(wrapper, indent=1))
-        tmp.replace(path)
-    finally:
-        tmp.unlink(missing_ok=True)
-    return path
+    payload = json.dumps(wrapper, indent=1)
+    retries_c = telemetry.live_counter("resilience.cache.store_retries")
+    plan = faults.active_plan()
+    last_error: Optional[OSError] = None
+    for attempt in range(2):
+        # The temp file is recreated per attempt: the previous one may
+        # have been unlinked by the finally below or swept by a racing
+        # clear_cache, so it cannot be reused.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{spec.spec_hash()}-", suffix=".tmp", dir=path.parent
+        )
+        tmp = pathlib.Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            if plan is not None and attempt < plan.cache_store_errors:
+                faults.count_injection("cache-store-error")
+                raise OSError("injected transient cache store failure")
+            tmp.replace(path)
+            return path
+        except OSError as exc:
+            last_error = exc
+            if attempt == 0 and retries_c is not None:
+                retries_c.inc()
+        finally:
+            tmp.unlink(missing_ok=True)
+    raise last_error
 
 
 def clear_cache(directory: Union[str, pathlib.Path, None] = None,
@@ -171,7 +199,10 @@ def clear_cache(directory: Union[str, pathlib.Path, None] = None,
     """Delete cached entries; returns the number removed.
 
     ``scenario`` restricts deletion to entries recorded under that
-    scenario name (as stamped at store time).
+    scenario name (as stamped at store time).  Safe against concurrent
+    writers and other clearers: entries deleted underneath the glob are
+    tolerated (the raced ``read_text`` classifies as unreadable, the
+    ``unlink`` ignores already-missing files) rather than raised.
     """
     root = cache_dir(directory)
     if not root.is_dir():

@@ -55,6 +55,8 @@ from repro.bounds.sweep import _resolve_weights
 from repro.ctmc import ImpreciseCTMC, IntervalDTMC, imprecise_reward_bounds
 from repro.engine import map_shards, sweep_constant_ensembles
 from repro.reporting import ExperimentResult
+from repro.resilience import QuestionFailure, RetryPolicy, ShardFailure
+from repro.resilience import execution as _resilient
 from repro.scenarios import cache as _cache
 from repro.scenarios.spec import Question, ScenarioSpec
 from repro.steadystate import (
@@ -156,7 +158,7 @@ def _run_pontryagin(model, spec: ScenarioSpec, q: Question,
     horizons = np.asarray(horizons, dtype=float)
     kwargs = {}
     for key in ("steps_per_unit", "min_steps", "max_iter", "tol", "batch",
-                "lanes"):
+                "lanes", "deadline_seconds"):
         if key in opts:
             kwargs[key] = opts[key]
     if "sides" in opts:
@@ -175,6 +177,10 @@ def _run_pontryagin(model, spec: ScenarioSpec, q: Question,
         if np.isfinite(upper).any():
             out.series[q.prefixed(f"{name}_imprecise_upper")] = (horizons, upper)
             out.findings[q.prefixed(f"{name}_imprecise_max_final")] = upper[-1]
+    if "deadline_seconds" in opts:
+        # Only stamped when a deadline was requested, so pre-existing
+        # golden pins and cached results keep their exact finding set.
+        out.findings[q.prefixed("pontryagin_converged")] = float(bounds.converged)
     return out
 
 
@@ -465,13 +471,37 @@ def _run_question_payload(payload) -> QuestionOutcome:
 
 @dataclass(frozen=True)
 class AnalysisPlan:
-    """How to execute a spec: caching, fan-out and question selection."""
+    """How to execute a spec: caching, fan-out, selection, resilience.
+
+    ``on_error="partial"`` isolates question failures: a raising
+    backend becomes a :class:`~repro.resilience.QuestionFailure` on the
+    :class:`ScenarioRun` while the surviving questions' outcomes are
+    merged as usual (and the partial result is never cached).  ``retry``
+    adds per-question bounded retries with the policy's deterministic
+    backoff; the default (``on_error="raise"``, no retry) is the legacy
+    fail-fast path, bit-identical to previous behaviour.
+    """
 
     use_cache: bool = True
     cache_dir: Optional[str] = None
     processes: Optional[int] = None
     kinds: Optional[Tuple[str, ...]] = None  # run only these question kinds
     backend: Optional[str] = None  # compiled-array backend name (repro.backend)
+    on_error: str = "raise"
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self):
+        if self.on_error not in ("raise", "partial"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'partial', "
+                f"got {self.on_error!r}"
+            )
+        if self.retry is not None and not isinstance(self.retry,
+                                                     RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy or None, got "
+                f"{type(self.retry).__name__}"
+            )
 
     def select(self, spec: ScenarioSpec) -> ScenarioSpec:
         """The spec this plan actually runs (possibly fewer questions)."""
@@ -533,14 +563,21 @@ class RunReport:
                 return key[len(prefix):]
         return None
 
+    @property
+    def questions_failed(self) -> int:
+        """Questions that exhausted their attempts (``on_error="partial"``)."""
+        return int(self.metrics.get("scenarios.questions.failed", 0))
+
     def render(self) -> str:
         miss = self.cache_miss_reason
         suffix = f"; miss={miss}" if miss else ""
+        failed = (f" failed={self.questions_failed}"
+                  if self.questions_failed else "")
         lines = [
             f"run report: scenario={self.scenario} spec={self.spec_hash}",
             f"  cache_hit={'true' if self.cache_hit else 'false'} "
             f"(hits={self.cache_hits}, misses={self.cache_misses}{suffix})",
-            f"  questions_run={self.questions_run} "
+            f"  questions_run={self.questions_run}{failed} "
             f"elapsed={self.elapsed_seconds:.3f}s",
         ]
         if self.cache_path:
@@ -550,11 +587,18 @@ class RunReport:
 
 @dataclass
 class ScenarioRun:
-    """A completed scenario: the result plus its run report."""
+    """A completed scenario: the result plus its run report.
+
+    Under ``on_error="partial"``, ``failures`` lists the questions that
+    exhausted their attempts (empty on a fully successful run); the
+    ``result`` then holds only the surviving questions' findings and is
+    never cached.
+    """
 
     spec: ScenarioSpec
     result: ExperimentResult
     report: RunReport
+    failures: List[QuestionFailure] = field(default_factory=list)
 
 
 def run_scenario(
@@ -565,6 +609,8 @@ def run_scenario(
     cache_dir: Optional[str] = None,
     processes: Optional[int] = None,
     backend: Optional[str] = None,
+    on_error: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ScenarioRun:
     """Run (or recall) every question of a scenario.
 
@@ -588,6 +634,14 @@ def run_scenario(
         Compiled-array backend name (see :mod:`repro.backend`) every
         question's batch kernels dispatch through; ``None`` keeps the
         process default (``set_backend`` / ``$REPRO_BACKEND`` / numpy).
+    on_error:
+        ``"partial"`` isolates per-question failures into
+        :class:`~repro.resilience.QuestionFailure` records on the
+        returned run instead of aborting (``"raise"``, the default,
+        keeps fail-fast semantics).
+    retry:
+        Optional :class:`~repro.resilience.RetryPolicy` giving each
+        question bounded retries with deterministic backoff.
 
     Returns
     -------
@@ -600,7 +654,8 @@ def run_scenario(
     overrides = {
         key: value
         for key, value in (("use_cache", use_cache), ("cache_dir", cache_dir),
-                           ("processes", processes), ("backend", backend))
+                           ("processes", processes), ("backend", backend),
+                           ("on_error", on_error), ("retry", retry))
         if value is not None
     }
     if overrides:
@@ -617,6 +672,52 @@ def run_scenario(
     with telemetry.span("scenario.run", scenario=spec.name,
                         spec=spec.spec_hash()):
         return _execute_plan(spec, plan)
+
+
+def _run_questions_serial_robust(spec: ScenarioSpec, plan: AnalysisPlan,
+                                 model):
+    """In-process question loop with the plan's retry/isolation semantics.
+
+    The serial twin of the robust pool path: each question gets
+    ``retry.max_attempts`` tries with the policy's deterministic
+    backoff, and under ``on_error="partial"`` an exhausted question
+    becomes a :class:`~repro.resilience.QuestionFailure` instead of
+    aborting the scenario.
+    """
+    policy = plan.retry or RetryPolicy(max_attempts=1)
+    retries_c = telemetry.live_counter("resilience.question.retries")
+    errors_c = telemetry.live_counter("resilience.question.errors")
+    outcomes = []
+    failures: List[QuestionFailure] = []
+    for question in spec.questions:
+        started = time.monotonic()
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                outcome = run_question(spec, question, model=model,
+                                       backend=plan.backend)
+            except Exception as exc:
+                last_exc = exc
+                if errors_c is not None:
+                    errors_c.inc()
+                if attempt < policy.max_attempts:
+                    if retries_c is not None:
+                        retries_c.inc()
+                    _resilient._sleep(policy.backoff_delay(attempt))
+                continue
+            outcomes.append(outcome)
+            break
+        else:
+            if plan.on_error == "raise":
+                raise last_exc
+            failures.append(QuestionFailure(
+                scenario=spec.name, kind=question.kind,
+                label=question.label,
+                error_type=type(last_exc).__name__,
+                message=str(last_exc), attempts=policy.max_attempts,
+                elapsed_seconds=time.monotonic() - started,
+            ))
+    return outcomes, failures
 
 
 def _execute_plan(spec: ScenarioSpec, plan: AnalysisPlan) -> ScenarioRun:
@@ -666,10 +767,40 @@ def _execute_plan(spec: ScenarioSpec, plan: AnalysisPlan) -> ScenarioRun:
         plan.processes is not None and plan.processes > 1
         and len(spec.questions) > 1
     )
+    # The robust paths only engage when the plan asks for resilience;
+    # the default plan takes the legacy fan-out below, bit-identical to
+    # previous behaviour (no executor machinery, no retry loop).
+    robust = plan.on_error == "partial" or plan.retry is not None
+    failures: List[QuestionFailure] = []
     if parallel_ok:
         payloads = [(spec, i, plan.backend)
                     for i in range(len(spec.questions))]
-        outcomes = map_shards(_run_question_payload, payloads, plan.processes)
+        if robust:
+            policy = dataclasses.replace(
+                plan.retry or RetryPolicy(max_attempts=1),
+                on_error=plan.on_error,
+            )
+            slots = map_shards(_run_question_payload, payloads,
+                               plan.processes, policy=policy)
+            outcomes = []
+            for index, slot in enumerate(slots):
+                if isinstance(slot, ShardFailure):
+                    question = spec.questions[index]
+                    failures.append(QuestionFailure(
+                        scenario=spec.name, kind=question.kind,
+                        label=question.label,
+                        error_type=slot.error_type, message=slot.message,
+                        attempts=slot.attempts,
+                        elapsed_seconds=slot.elapsed_seconds,
+                    ))
+                else:
+                    outcomes.append(slot)
+        else:
+            outcomes = map_shards(_run_question_payload, payloads,
+                                  plan.processes)
+    elif robust:
+        model = spec.build_model()
+        outcomes, failures = _run_questions_serial_robust(spec, plan, model)
     else:
         model = spec.build_model()
         outcomes = [run_question(spec, q, model=model, backend=plan.backend)
@@ -683,9 +814,24 @@ def _execute_plan(spec: ScenarioSpec, plan: AnalysisPlan) -> ScenarioRun:
         for note in outcome.notes:
             result.add_note(note)
 
+    if failures:
+        # A partial result is marked as such everywhere it can be
+        # inspected: the failure taxonomy in the report metrics, the
+        # human-readable notes, and a parameters flag on the result.
+        result.parameters["partial"] = True
+        metrics["scenarios.questions.failed"] = len(failures)
+        telemetry.inc("resilience.question_failures", len(failures))
+        for failure in failures:
+            key = f"resilience.question_failure.{failure.error_type}"
+            metrics[key] = metrics.get(key, 0) + 1
+            result.add_note(failure.describe())
+
     elapsed = time.perf_counter() - start
     path: Optional[str] = None
-    if plan.use_cache:
+    if plan.use_cache and not failures:
+        # Partial results are never cached: a later run must get the
+        # chance to compute the missing questions, and a cache hit must
+        # always mean "the complete answer".
         try:
             path = str(_cache.store_result(spec, result, plan.cache_dir))
         except OSError:
@@ -704,4 +850,5 @@ def _execute_plan(spec: ScenarioSpec, plan: AnalysisPlan) -> ScenarioRun:
         metrics=metrics,
         cache_path=path,
     )
-    return ScenarioRun(spec=spec, result=result, report=report)
+    return ScenarioRun(spec=spec, result=result, report=report,
+                       failures=failures)

@@ -1,0 +1,11 @@
+"""Fixture: constant-true loop with no recognisable bound (REP011)."""
+
+
+def drain(queue):
+    total = 0
+    while True:
+        item = queue.get()
+        if item is None:
+            continue
+        total += item
+    return total

@@ -1,0 +1,23 @@
+"""Fixture: bounded (or justified) constant-true loops (clean)."""
+
+
+def poll(check, max_attempts=5):
+    attempts = 0
+    while True:
+        if check():
+            return True
+        attempts += 1
+        if attempts >= max_attempts:
+            return False
+
+
+def serve(handle_request):
+    while True:  # repro: unbounded-ok[accept loop runs until process exit]
+        handle_request()
+
+
+def countdown(start):
+    remaining = start
+    while remaining > 0:  # data-driven test, not constant-true: never flagged
+        remaining -= 1
+    return remaining

@@ -2,7 +2,7 @@
 
 Three layers:
 
-- every pass-1 rule REP001–REP010 fires on its violating fixture in
+- every pass-1 rule REP001–REP011 fires on its violating fixture in
   ``tests/analysis_fixtures/`` and stays silent on the clean twin;
 - the framework mechanics: suppressions (line, bare, file-level), the
   unused-suppression warning REP000, the parse-error finding REP900,
@@ -51,6 +51,7 @@ RULE_CASES = [
     ("REP008", "src", frozenset()),
     ("REP009", "src", frozenset()),
     ("REP010", "src", frozenset()),
+    ("REP011", "src", frozenset()),
 ]
 
 
